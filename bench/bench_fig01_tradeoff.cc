@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Regenerates Figure 1: the mean-response-time / average-power trade-off
+ * bowls for DNS-like and Google-like workloads at ρ = 0.1, for the
+ * representative states C0(i)S0(i), C6S0(i), and C6S3, swept across the
+ * DVFS range (paper Section 4.1 methodology: N = 10,000 jobs, Poisson
+ * arrivals, exponential service, f from ρ+0.01 to 1).
+ *
+ * Expected shape (Section 4.2, lesson 1): each curve is a bowl; a joint
+ * (f, state) optimum exists — for DNS-like, C6S3 near f ≈ 0.42 at ≈70 W;
+ * race-to-halt (the leftmost tip) pays ~50% more power. The Atom section
+ * reproduces the paper's qualitative observation that small-CPU platforms
+ * should run fast and sleep immediately.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "util/table_printer.hh"
+
+using namespace sleepscale;
+using namespace sleepscale::bench;
+
+namespace {
+
+void
+panel(const PlatformModel &platform, const WorkloadSpec &spec, double rho)
+{
+    printBanner(std::cout, "Figure 1 (" + platform.name() + "): " +
+                               spec.name + "-like, rho = 0.1 (1/mu = " +
+                               std::to_string(spec.serviceMean * 1e3) +
+                               " ms)");
+
+    const auto jobs = idealJobs(spec, rho, 10000, 140401);
+    const std::vector<LowPowerState> states = {
+        LowPowerState::C0IdleS0Idle, LowPowerState::C6S0Idle,
+        LowPowerState::C6S3};
+
+    TablePrinter table({"f", "state", "mu*E[R]", "E[P] [W]"});
+    SweepPoint joint_best{1.0, 0.0, 1e18};
+    std::string joint_state;
+    std::vector<std::pair<std::string, double>> tips; // f = 1 powers.
+
+    for (LowPowerState state : states) {
+        const auto curve =
+            sweepFrequencies(platform, spec, SleepPlan::immediate(state),
+                             jobs, rho + 0.01, 0.01);
+        // Sample the curve every 0.05 in f for readable output.
+        for (std::size_t i = 0; i < curve.size(); i += 5) {
+            table.addRow({std::to_string(curve[i].frequency).substr(0, 4),
+                          toString(state),
+                          std::to_string(curve[i].normalizedResponse),
+                          std::to_string(curve[i].power)});
+        }
+        const SweepPoint best = bowlOptimum(curve);
+        if (best.power < joint_best.power) {
+            joint_best = best;
+            joint_state = toString(state);
+        }
+        tips.emplace_back(toString(state), curve.back().power);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nJoint optimum: " << joint_state
+              << " at f = " << joint_best.frequency << " -> "
+              << joint_best.power
+              << " W (mu*E[R] = " << joint_best.normalizedResponse
+              << ")\n";
+    std::cout << "Race-to-halt (f = 1 tip of each curve) vs joint "
+                 "optimum:\n";
+    for (const auto &[state, tip] : tips) {
+        std::cout << "  " << state << ": " << tip << " W  (+"
+                  << 100.0 * (tip / joint_best.power - 1.0) << "%)\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const double rho = 0.1;
+    const PlatformModel xeon = PlatformModel::xeon();
+    panel(xeon, dnsWorkload().idealized(), rho);
+    panel(xeon, googleWorkload().idealized(), rho);
+
+    // The paper's Atom observation: with small CPU power and relatively
+    // large platform power, running fast and sleeping immediately wins.
+    const PlatformModel atom = PlatformModel::atom();
+    printBanner(std::cout,
+                "Atom observation: optimal frequency per state "
+                "(DNS-like, rho = 0.1)");
+    const auto jobs = idealJobs(dnsWorkload(), rho, 10000, 140402);
+    TablePrinter atom_table({"state", "optimal f", "E[P] [W]"});
+    for (LowPowerState state : allLowPowerStates) {
+        const auto curve = sweepFrequencies(atom, dnsWorkload(),
+                                            SleepPlan::immediate(state),
+                                            jobs, rho + 0.01, 0.01);
+        const SweepPoint best = bowlOptimum(curve);
+        atom_table.addRow({toString(state),
+                           std::to_string(best.frequency).substr(0, 4),
+                           std::to_string(best.power)});
+    }
+    atom_table.print(std::cout);
+    std::cout << "\nExpected: deep states prefer high f on Atom (run "
+                 "fast, sleep immediately),\nunlike the Xeon's interior "
+                 "optimum.\n";
+    return 0;
+}

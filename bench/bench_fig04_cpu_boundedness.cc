@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Regenerates Figure 4: how the service-rate dependence on CPU frequency
+ * changes the optimal speed (DNS-like workload, ρ = 0.1, C6S3). Service
+ * rates µf (CPU-bound), µf^0.5, µf^0.2, and µ (memory-bound).
+ *
+ * Expected (lesson 6): the less CPU-bound the work, the lower the
+ * optimal frequency; for memory-bound work the optimal speed is the
+ * lowest available.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "util/table_printer.hh"
+
+using namespace sleepscale;
+using namespace sleepscale::bench;
+
+int
+main()
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const double rho = 0.1;
+
+    printBanner(std::cout,
+                "Figure 4: CPU-boundedness and the optimal frequency "
+                "(DNS-like, rho = 0.1, C6S3)");
+
+    struct Law
+    {
+        std::string label;
+        ServiceScaling scaling;
+    };
+    const std::vector<Law> laws = {
+        {"mu*f (CPU-bound)", ServiceScaling::cpuBound()},
+        {"mu*f^0.5", ServiceScaling::mixed()},
+        {"mu*f^0.2", ServiceScaling::mostlyMemory()},
+        {"mu (memory-bound)", ServiceScaling::memoryBound()},
+    };
+
+    TablePrinter table({"scaling", "f", "mu*E[R]", "E[P] [W]"});
+    TablePrinter optima({"scaling", "optimal f", "E[P]* [W]"});
+    for (const Law &law : laws) {
+        WorkloadSpec spec = dnsWorkload().idealized();
+        spec.scaling = law.scaling;
+        const auto jobs = idealJobs(spec, rho, 20000, 140405);
+
+        // Stability floor: f^a > rho.
+        const double f_min =
+            law.scaling.exponent == 0.0
+                ? 0.05
+                : std::pow(rho + 0.01, 1.0 / law.scaling.exponent);
+        const auto curve = sweepFrequencies(xeon, spec,
+                                            SleepPlan::immediate(
+                                                LowPowerState::C6S3),
+                                            jobs, f_min, 0.01);
+        for (std::size_t i = 0; i < curve.size(); i += 8) {
+            table.addRow({law.label,
+                          std::to_string(curve[i].frequency).substr(0, 4),
+                          std::to_string(curve[i].normalizedResponse),
+                          std::to_string(curve[i].power)});
+        }
+        const SweepPoint best = bowlOptimum(curve);
+        optima.addRow({law.label,
+                       std::to_string(best.frequency).substr(0, 4),
+                       std::to_string(best.power)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+    optima.print(std::cout);
+    std::cout << "\nExpected: optimal f decreases with the scaling "
+                 "exponent; memory-bound work\nruns at the lowest "
+                 "frequency.\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates Figure 5: the baseline-derived QoS constraint on the
+ * power/performance trade-off (Google-like workload, C0(i)S0(i)) at
+ * utilizations 0.1-0.4 with ρ_b = 0.8, i.e. a normalized mean response
+ * budget of µE[R] = 1/(1-0.8) = 5.
+ *
+ * Expected: the curves shift up with ρ; at low ρ the unconstrained power
+ * minimum already beats the budget (the paper's "bump" / exceeded-QoS
+ * region, µE[R] ≈ 3 at ρ = 0.1), while from ρ ≈ 0.3 the constraint
+ * binds and pushes f up. The paper reads optimal f ≈ {0.41, 0.46, 0.51,
+ * 0.56} off its BigHouse-statistics simulation; the idealized closed
+ * form puts them at {0.39, 0.46, 0.50, 0.60} (same shape, small offsets
+ * from the non-exponential moments).
+ */
+
+#include <iostream>
+
+#include "analytic/mm1_sleep.hh"
+#include "bench_util.hh"
+#include "util/table_printer.hh"
+
+using namespace sleepscale;
+using namespace sleepscale::bench;
+
+int
+main()
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const WorkloadSpec google = googleWorkload().idealized();
+    const double mu = 1.0 / google.serviceMean;
+    const double budget = 5.0; // mu*E[R] for rho_b = 0.8
+    const MM1SleepModel model(xeon);
+
+    printBanner(std::cout,
+                "Figure 5: QoS-constrained trade-off (Google-like, "
+                "C0(i)S0(i), rho_b = 0.8)");
+
+    TablePrinter curves({"rho", "f", "mu*E[R]", "E[P] [W]"});
+    TablePrinter optima({"rho", "f* (sim)", "f* (closed form)",
+                         "mu*E[R] @ f*", "E[P]* [W]", "QoS exceeded?"});
+
+    for (double rho : {0.1, 0.2, 0.3, 0.4}) {
+        const auto jobs = idealJobs(google, rho, 30000, 140406);
+        const auto curve = sweepFrequencies(
+            xeon, google,
+            SleepPlan::immediate(LowPowerState::C0IdleS0Idle), jobs,
+            rho + 0.02, 0.01);
+        for (std::size_t i = 0; i < curve.size(); i += 8) {
+            curves.addRow({std::to_string(rho).substr(0, 3),
+                           std::to_string(curve[i].frequency)
+                               .substr(0, 4),
+                           std::to_string(curve[i].normalizedResponse),
+                           std::to_string(curve[i].power)});
+        }
+        const SweepPoint best = constrainedOptimum(curve, budget);
+
+        // Closed-form optimum under the same constraint.
+        double best_analytic_f = 1.0;
+        double best_analytic_power = 1e18;
+        const Policy base{
+            1.0, SleepPlan::immediate(LowPowerState::C0IdleS0Idle)};
+        for (double f = rho + 0.02; f <= 1.0; f += 0.005) {
+            Policy policy = base;
+            policy.frequency = f;
+            const double response =
+                model.meanResponse(policy, rho * mu, mu) * mu;
+            if (response > budget)
+                continue;
+            const double power = model.meanPower(policy, rho * mu, mu);
+            if (power < best_analytic_power) {
+                best_analytic_power = power;
+                best_analytic_f = f;
+            }
+        }
+
+        optima.addRow(
+            {std::to_string(rho).substr(0, 3),
+             std::to_string(best.frequency).substr(0, 4),
+             std::to_string(best_analytic_f).substr(0, 5),
+             std::to_string(best.normalizedResponse),
+             std::to_string(best.power),
+             best.normalizedResponse < budget * 0.95 ? "yes (bump)"
+                                                     : "no (binding)"});
+    }
+    curves.print(std::cout);
+    std::cout << "\nQoS bar: mu*E[R] <= " << budget
+              << " (baseline rho_b = 0.8 at f = 1)\n\n";
+    optima.print(std::cout);
+    std::cout << "\nPaper readings (BigHouse statistics): f* = 0.41, "
+                 "0.46, 0.51, 0.56.\n";
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Regenerates Figure 6: the optimal (frequency, low-power state) pairing
+ * as a function of utilization for the DNS-like and Google-like
+ * workloads, under the mean-response and 95th-percentile QoS
+ * constraints, for ρ_b ∈ {0.6, 0.8}. Solid lines in the paper are the
+ * idealized (M/M/1 closed-form) selection; dashed lines use the
+ * workload's empirical statistics — here, moment-matched distributions
+ * simulated through Algorithm 1 (our BigHouse stand-in, DESIGN.md).
+ *
+ * Expected shapes: no one-size-fits-all state; DNS switches
+ * C0(i)S0(i) -> C6S0(i) with rising ρ; Google uses C3S0(i)/C1S0(i) at
+ * high ρ; the ρ_b = 0.8 curves show the low-utilization "bump" where the
+ * global power optimum beats the QoS budget; idealized and empirical
+ * selections usually agree on the state but the idealized frequency
+ * tends lower (paper observations 1-4 of Section 5.1.2).
+ */
+
+#include <iostream>
+
+#include "core/policy_manager.hh"
+#include "bench_util.hh"
+#include "util/table_printer.hh"
+
+using namespace sleepscale;
+using namespace sleepscale::bench;
+
+namespace {
+
+void
+panel(const PlatformModel &xeon, const WorkloadSpec &spec,
+      QosMetric metric)
+{
+    const double mu = 1.0 / spec.serviceMean;
+    printBanner(std::cout, "Figure 6: " + spec.name + "-like, " +
+                               toString(metric) + " constraint");
+
+    TablePrinter table({"rho_b", "rho", "f (ideal)", "state (ideal)",
+                        "f (empirical)", "state (empirical)"});
+
+    for (double rho_b : {0.6, 0.8}) {
+        const QosConstraint qos =
+            metric == QosMetric::MeanResponse
+                ? QosConstraint::fromBaselineMean(rho_b, spec.serviceMean)
+                : QosConstraint::fromBaselineTail(rho_b,
+                                                  spec.serviceMean);
+        const PolicySpace space = PolicySpace::allStates(
+            PolicySpace::frequencyGrid(0.12, 1.0, 0.02));
+        const PolicyManager manager(xeon, spec.scaling, space, qos);
+
+        for (double rho = 0.05; rho <= 0.801; rho += 0.05) {
+            const PolicyDecision ideal =
+                manager.selectAnalytic(rho * mu, mu);
+
+            const auto jobs = empiricalJobs(
+                spec, rho, 15000,
+                140407 + static_cast<std::uint64_t>(rho * 1000));
+            const PolicyDecision empirical =
+                manager.selectFromLog(jobs);
+
+            table.addRow(
+                {std::to_string(rho_b).substr(0, 3),
+                 std::to_string(rho).substr(0, 4),
+                 std::to_string(ideal.policy.frequency).substr(0, 4),
+                 toString(ideal.policy.plan.deepest()),
+                 std::to_string(empirical.policy.frequency).substr(0, 4),
+                 toString(empirical.policy.plan.deepest())});
+        }
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    // Panels (a)-(d) of the figure.
+    panel(xeon, dnsWorkload(), QosMetric::MeanResponse);
+    panel(xeon, googleWorkload(), QosMetric::MeanResponse);
+    panel(xeon, dnsWorkload(), QosMetric::TailResponse);
+    panel(xeon, googleWorkload(), QosMetric::TailResponse);
+
+    std::cout << "\nKey observations to check against the paper:\n"
+                 "  1) no single state wins everywhere;\n"
+                 "  2) idealized vs empirical agree when the workload "
+                 "moments are near-Poisson;\n"
+                 "  3) the idealized frequency is often lower than the "
+                 "empirical one;\n"
+                 "  4) the rho_b = 0.8 curves bump at low utilization "
+                 "(QoS exceeded at the\n     global power optimum).\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates Figure 7: the 3-day minute-granularity utilization traces
+ * (file server and email store). The departmental traces the paper uses
+ * are not public; these synthetic equivalents reproduce their reported
+ * structure — a periodic daily pattern, minute-scale fluctuation, and
+ * abrupt nightly backup surges in the email store (DESIGN.md).
+ *
+ * The bench prints hourly means (the figure's visual shape) plus the
+ * summary statistics the evaluation relies on.
+ */
+
+#include <iostream>
+
+#include "util/online_stats.hh"
+#include "util/table_printer.hh"
+#include "workload/utilization_trace.hh"
+
+using namespace sleepscale;
+
+namespace {
+
+void
+describe(const UtilizationTrace &trace)
+{
+    printBanner(std::cout, "Figure 7: " + trace.name() + " (3 days)");
+
+    TablePrinter hourly({"hour", "day1 mean", "day2 mean", "day3 mean"});
+    for (unsigned hour = 0; hour < 24; ++hour) {
+        std::vector<double> row = {static_cast<double>(hour)};
+        for (unsigned day = 0; day < 3; ++day) {
+            OnlineStats stats;
+            for (unsigned m = 0; m < 60; ++m)
+                stats.add(trace.at((day * 24 + hour) * 60 + m));
+            row.push_back(stats.mean());
+        }
+        hourly.addRow(row, 3);
+    }
+    hourly.print(std::cout);
+
+    std::cout << "\nmean = " << trace.meanUtilization()
+              << ", peak = " << trace.peakUtilization()
+              << ", minutes = " << trace.size() << '\n';
+
+    const UtilizationTrace window = trace.dailyWindow(2, 20);
+    std::cout << "2AM-8PM evaluation window: mean = "
+              << window.meanUtilization()
+              << ", peak = " << window.peakUtilization() << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    describe(synthFileServerTrace(3, 20140614));
+    describe(synthEmailStoreTrace(3, 20140614));
+
+    std::cout << "\nExpected structure: file server stays in "
+                 "[0.02, 0.2] with a mild diurnal\nswell; email store "
+                 "ranges up to ~0.9 with abrupt surges during the "
+                 "nightly\nbackup window (8PM-2AM), matching the paper's "
+                 "description of its hosts.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates Figure 8: average response time under different utilization
+ * predictors (LC = LMS+CUSUM, LMS, NP = naive-previous, Offline) and
+ * policy update intervals T ∈ {1, 5, 10, 15} minutes, with no over-
+ * provisioning (α = 0). DNS-like server following the email-store trace
+ * over the paper's 2AM-8PM window, ρ_b = 0.8 (budget µE[R] = 5).
+ *
+ * Expected shape: smaller T gives smaller response time; Offline is the
+ * floor; LC ≈ NP ≤ LMS; without over-provisioning every causal predictor
+ * exceeds the budget (the paper's point motivating α = 0.35).
+ */
+
+#include <iostream>
+
+#include "core/runtime.hh"
+#include "util/rng.hh"
+#include "util/table_printer.hh"
+#include "workload/job_stream.hh"
+
+using namespace sleepscale;
+
+int
+main()
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const WorkloadSpec dns = dnsWorkload();
+
+    const UtilizationTrace day = synthEmailStoreTrace(1, 20140614);
+    const UtilizationTrace window = day.dailyWindow(2, 20);
+    Rng rng(88);
+    const auto jobs = generateTraceDrivenJobs(rng, dns, window);
+
+    printBanner(std::cout,
+                "Figure 8: mean response vs predictor and update "
+                "interval (alpha = 0)");
+    std::cout << "workload = DNS-like, trace = email store 2AM-8PM, "
+                 "rho_b = 0.8, budget mu*E[R] = 5\n\n";
+
+    TablePrinter table({"T [min]", "predictor", "mu*E[R]",
+                        "within budget?"});
+    for (unsigned T : {1u, 5u, 10u, 15u}) {
+        for (const std::string name : {"LC", "LMS", "NP", "Offline"}) {
+            RuntimeConfig config;
+            config.epochMinutes = T;
+            config.overProvision = 0.0;
+            config.rhoB = 0.8;
+            const SleepScaleRuntime runtime(xeon, dns, config);
+
+            const auto predictor =
+                makePredictor(name, 10, window.values());
+            const RuntimeResult result =
+                runtime.run(jobs, window, *predictor);
+
+            const double normalized =
+                result.meanResponse() / dns.serviceMean;
+            table.addRow({std::to_string(T), name,
+                          std::to_string(normalized),
+                          result.withinBudget() ? "yes" : "no"});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected: response shrinks with smaller T; Offline "
+                 "is the floor; causal\npredictors exceed the budget "
+                 "without over-provisioning (Section 6.1).\n";
+    return 0;
+}

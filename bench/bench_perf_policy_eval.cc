@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Micro-benchmarks for the claims that make SleepScale viable at runtime:
+ * Section 4.1 reports 6.3 ms to simulate one policy (10,000 jobs, Matlab)
+ * and Section 5.1.1 argues the full per-epoch decision is negligible
+ * against a minutes-long epoch. These benchmarks measure our equivalents.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analytic/mm1_sleep.hh"
+#include "core/policy_manager.hh"
+#include "power/platform_model.hh"
+#include "sim/server_sim.hh"
+#include "util/rng.hh"
+#include "workload/job_stream.hh"
+
+namespace {
+
+using namespace sleepscale;
+
+std::vector<Job>
+benchJobs(std::size_t count)
+{
+    Rng rng(4242);
+    ExponentialDist gaps(0.194 / 0.3);
+    ExponentialDist sizes(0.194);
+    return generateJobs(rng, gaps, sizes, count);
+}
+
+/** One policy characterization over a 10k-job log (paper: 6.3 ms). */
+void
+BM_EvaluatePolicy10k(benchmark::State &state)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const auto jobs = benchJobs(10000);
+    const Policy policy{0.7, SleepPlan::immediate(LowPowerState::C6S3)};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            evaluatePolicy(xeon, ServiceScaling::cpuBound(), policy,
+                           jobs));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            10000);
+}
+BENCHMARK(BM_EvaluatePolicy10k);
+
+/** Raw simulator throughput in jobs/second. */
+void
+BM_ServerSimThroughput(benchmark::State &state)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const auto jobs = benchJobs(static_cast<std::size_t>(state.range(0)));
+    const Policy policy{1.0,
+                        SleepPlan::immediate(LowPowerState::C6S0Idle)};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            evaluatePolicy(xeon, ServiceScaling::cpuBound(), policy,
+                           jobs));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_ServerSimThroughput)->Arg(1000)->Arg(100000);
+
+/** The full per-epoch decision: every (state, frequency) candidate over
+ * a capped 4000-job log (what the runtime executes every T minutes). */
+void
+BM_PolicyManagerDecision(benchmark::State &state)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const auto jobs = benchJobs(4000);
+    const PolicyManager manager(
+        xeon, ServiceScaling::cpuBound(), PolicySpace::standard(),
+        QosConstraint::fromBaselineMean(0.8, 0.194));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(manager.selectFromLog(jobs));
+}
+BENCHMARK(BM_PolicyManagerDecision);
+
+/** The closed-form alternative the paper suggests as future work. */
+void
+BM_AnalyticDecision(benchmark::State &state)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const double mu = 1.0 / 0.194;
+    const PolicyManager manager(
+        xeon, ServiceScaling::cpuBound(), PolicySpace::standard(),
+        QosConstraint::fromBaselineMean(0.8, 0.194));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(manager.selectAnalytic(0.3 * mu, mu));
+}
+BENCHMARK(BM_AnalyticDecision);
+
+/** A single closed-form policy evaluation. */
+void
+BM_AnalyticSingleEvaluation(benchmark::State &state)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const MM1SleepModel model(xeon);
+    const double mu = 1.0 / 0.194;
+    const Policy policy{0.7, SleepPlan::immediate(LowPowerState::C6S3)};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.meanPower(policy, 0.3 * mu, mu));
+        benchmark::DoNotOptimize(
+            model.meanResponse(policy, 0.3 * mu, mu));
+    }
+}
+BENCHMARK(BM_AnalyticSingleEvaluation);
+
+} // namespace

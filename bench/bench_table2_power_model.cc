@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Regenerates Table 2 (and the Table 3 state pairing): the per-component
+ * power inventory, the platform totals, and the combined-state system
+ * power as a function of the DVFS factor f.
+ */
+
+#include <iostream>
+
+#include "power/component_table.hh"
+#include "power/platform_model.hh"
+#include "util/table_printer.hh"
+
+using namespace sleepscale;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Table 2: power consumption for system components");
+
+    TablePrinter components(
+        {"Component", "Operating S0(a) [W]", "Idle S0(i) [W]",
+         "Deeper sleep S3 [W]"});
+    components.addRow({std::string("CPU x1"), "130 V^2 f (C0(a))",
+                       "75 V^2 f (C0(i)) / 47 V^2 (C1) / 22 (C3) / "
+                       "15 (C6)",
+                       "15 (C6)"});
+    for (const ComponentPower &row : xeonComponentTable()) {
+        components.addRow({row.name, std::to_string(row.operating),
+                           std::to_string(row.idle),
+                           std::to_string(row.deeperSleep)});
+    }
+    const auto &table = xeonComponentTable();
+    components.addRow({std::string("Platform total"),
+                       std::to_string(componentTotalOperating(table)),
+                       std::to_string(componentTotalIdle(table)),
+                       std::to_string(componentTotalDeeperSleep(table))});
+    components.print(std::cout);
+
+    std::cout << "\nPaper values: S0(a) = 120 W, S0(i) = 60.5 W, "
+                 "S3 = 13.1 W\n";
+
+    for (const PlatformModel &platform :
+         {PlatformModel::xeon(), PlatformModel::atom()}) {
+        printBanner(std::cout, "Combined-state system power (" +
+                                   platform.name() + ", V ∝ f)");
+        TablePrinter states({"f", "C0(a)S0(a)", "C0(i)S0(i)", "C1S0(i)",
+                             "C3S0(i)", "C6S0(i)", "C6S3"});
+        for (double f : {1.0, 0.8, 0.6, 0.42, 0.3}) {
+            states.addRow(
+                {f, platform.activePower(f),
+                 platform.lowPower(LowPowerState::C0IdleS0Idle, f),
+                 platform.lowPower(LowPowerState::C1S0Idle, f),
+                 platform.lowPower(LowPowerState::C3S0Idle, f),
+                 platform.lowPower(LowPowerState::C6S0Idle, f),
+                 platform.lowPower(LowPowerState::C6S3, f)},
+                2);
+        }
+        states.print(std::cout);
+    }
+
+    std::cout << "\nTable 3 pairing: S0(a)<->C0(a) only; S0(i)<->C0(i)/"
+                 "C1/C3/C6; S3<->C6 only.\n";
+    return 0;
+}

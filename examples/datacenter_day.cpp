@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Data-center day: run SleepScale against race-to-halt over a full
+ * synthetic email-store day (the paper's Section 6 experiment in
+ * miniature), printing an hour-by-hour picture of what the runtime
+ * decided and the end-of-day comparison.
+ *
+ *   ./datacenter_day
+ */
+
+#include <iostream>
+
+#include "core/strategies.hh"
+#include "util/rng.hh"
+#include "util/table_printer.hh"
+#include "workload/job_stream.hh"
+
+using namespace sleepscale;
+
+int
+main()
+{
+    const PlatformModel platform = PlatformModel::xeon();
+    const WorkloadSpec workload = dnsWorkload();
+
+    // One synthetic email-store day, evaluated over the paper's 2AM-8PM
+    // window (the nightly backup window is operated separately).
+    const UtilizationTrace day = synthEmailStoreTrace(1, 424242);
+    const UtilizationTrace window = day.dailyWindow(2, 20);
+    Rng rng(5);
+    const auto jobs = generateTraceDrivenJobs(rng, workload, window);
+    std::cout << "email-store day, 2AM-8PM window: "
+              << jobs.size() << " jobs, mean load "
+              << window.meanUtilization() << ", peak "
+              << window.peakUtilization() << "\n\n";
+
+    // SleepScale with the paper's runtime settings.
+    const RuntimeConfig ss_config = makeStrategyConfig(
+        StrategyKind::SleepScale, 5, 0.35, 0.8);
+    const SleepScaleRuntime ss_runtime(platform, workload, ss_config);
+    LmsCusumPredictor predictor(10);
+    const RuntimeResult ss = ss_runtime.run(jobs, window, predictor);
+
+    // Hour-by-hour view of the controller's behaviour.
+    TablePrinter hours({"hour", "load", "policy (last epoch)",
+                        "mu*E[R]", "E[P] [W]"});
+    const std::size_t epochs_per_hour = 60 / ss_config.epochMinutes;
+    for (std::size_t h = 0; h * epochs_per_hour < ss.epochs.size();
+         ++h) {
+        SimStats hour_stats;
+        double load = 0.0;
+        std::size_t count = 0;
+        const EpochReport *last = nullptr;
+        for (std::size_t e = h * epochs_per_hour;
+             e < std::min((h + 1) * epochs_per_hour, ss.epochs.size());
+             ++e) {
+            hour_stats.merge(ss.epochs[e].stats);
+            load += ss.epochs[e].measuredUtilization;
+            last = &ss.epochs[e];
+            ++count;
+        }
+        if (!count || !last)
+            continue;
+        hours.addRow(
+            {std::to_string(h + 2) + ":00",
+             std::to_string(load / static_cast<double>(count))
+                 .substr(0, 4),
+             last->policy.toString(),
+             std::to_string(hour_stats.meanResponse() /
+                            workload.serviceMean),
+             std::to_string(hour_stats.avgPower())});
+    }
+    hours.print(std::cout);
+
+    // The end-of-day comparison against race-to-halt.
+    const RuntimeConfig r2h_config = makeStrategyConfig(
+        StrategyKind::RaceToHaltC6, 5, 0.35, 0.8);
+    const SleepScaleRuntime r2h_runtime(platform, workload, r2h_config);
+    LmsCusumPredictor r2h_predictor(10);
+    const RuntimeResult r2h =
+        r2h_runtime.run(jobs, window, r2h_predictor);
+
+    const double day_hours = ss.total.elapsed() / 3600.0;
+    std::cout << "\nEnd of day:\n";
+    std::cout << "  SleepScale : " << ss.avgPower() << " W avg, "
+              << ss.avgPower() * day_hours / 1000.0 << " kWh, mu*E[R] = "
+              << ss.meanResponse() / workload.serviceMean
+              << (ss.withinBudget() ? " (within budget)\n"
+                                    : " (over budget)\n");
+    std::cout << "  R2H(C6)    : " << r2h.avgPower() << " W avg, "
+              << r2h.avgPower() * day_hours / 1000.0
+              << " kWh, mu*E[R] = "
+              << r2h.meanResponse() / workload.serviceMean << "\n";
+    std::cout << "  Savings    : "
+              << 100.0 * (1.0 - ss.avgPower() / r2h.avgPower())
+              << "% power\n";
+    return 0;
+}

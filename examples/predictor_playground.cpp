@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Predictor playground: compare the utilization predictors of the
+ * paper's Section 5.2 (naive-previous, LMS, LMS+CUSUM, offline genie)
+ * on a synthetic email-store trace, reporting one-step-ahead accuracy
+ * and change-tracking behaviour.
+ *
+ *   ./predictor_playground
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "core/predictor.hh"
+#include "util/online_stats.hh"
+#include "util/table_printer.hh"
+#include "workload/utilization_trace.hh"
+
+using namespace sleepscale;
+
+int
+main()
+{
+    const UtilizationTrace trace =
+        synthEmailStoreTrace(2, 77).dailyWindow(2, 20);
+    std::cout << "trace: email store, 2 days, 2AM-8PM window ("
+              << trace.size() << " minutes)\n\n";
+
+    TablePrinter table({"predictor", "mean |error|", "p95 |error|",
+                        "worst |error|", "notes"});
+
+    for (const std::string name : {"NP", "LMS", "LC", "Offline"}) {
+        const auto predictor = makePredictor(name, 10, trace.values());
+
+        OnlineStats errors;
+        std::vector<double> abs_errors;
+        for (std::size_t t = 0; t < trace.size(); ++t) {
+            const double forecast = predictor->predict(t);
+            const double actual = trace.at(t);
+            if (t >= 15) { // skip warm-up
+                errors.add(std::abs(forecast - actual));
+                abs_errors.push_back(std::abs(forecast - actual));
+            }
+            predictor->observe(t, actual);
+        }
+        std::sort(abs_errors.begin(), abs_errors.end());
+        const double p95 =
+            abs_errors[abs_errors.size() * 95 / 100];
+
+        std::string notes;
+        if (name == "LC") {
+            const auto *lc =
+                dynamic_cast<LmsCusumPredictor *>(predictor.get());
+            notes = std::to_string(lc->changesDetected()) +
+                    " change points";
+        } else if (name == "Offline") {
+            notes = "genie (non-causal)";
+        }
+        table.addRow({name, std::to_string(errors.mean()),
+                      std::to_string(p95),
+                      std::to_string(errors.max()), notes});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nLC collapses its averaging window when the CUSUM "
+                 "statistic crosses its\nthreshold (mail bursts, backup "
+                 "onset) and regrows it during stationary\nstretches — "
+                 "the behaviour Figure 8 of the paper rewards.\n";
+    return 0;
+}

@@ -1,0 +1,173 @@
+#include "analytic/mm1_sleep.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+MM1SleepModel::MM1SleepModel(const PlatformModel &platform,
+                             ServiceScaling scaling)
+    : _platform(platform), _scaling(scaling)
+{
+}
+
+double
+MM1SleepModel::effectiveServiceRate(double mu, double f) const
+{
+    fatalIf(mu <= 0.0, "MM1SleepModel: mu must be positive");
+    return mu / _scaling.factor(f);
+}
+
+bool
+MM1SleepModel::stable(double lambda, double mu, double f) const
+{
+    return lambda < effectiveServiceRate(mu, f);
+}
+
+double
+MM1SleepModel::setupMoment(const MaterializedPlan &plan, double lambda,
+                           double order) const
+{
+    // E[D^a] = sum_{i=1}^{n-1} w_i^a (e^{-λτ_i} - e^{-λτ_{i+1}})
+    //          + w_n^a e^{-λτ_n}
+    const std::size_t n = plan.size();
+    double moment = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double survive_i = std::exp(-lambda * plan.enterAfter(i));
+        const double survive_next =
+            i + 1 < n ? std::exp(-lambda * plan.enterAfter(i + 1)) : 0.0;
+        const double w = plan.wakeLatency(i);
+        if (w > 0.0)
+            moment += std::pow(w, order) * (survive_i - survive_next);
+    }
+    return moment;
+}
+
+double
+MM1SleepModel::cycleLength(const MaterializedPlan &plan, double lambda,
+                           double mu_eff) const
+{
+    fatalIf(lambda <= 0.0, "MM1SleepModel: lambda must be positive");
+    fatalIf(mu_eff <= lambda,
+            "MM1SleepModel: unstable system (lambda >= effective mu)");
+    const double mean_setup = setupMoment(plan, lambda, 1.0);
+    // L = (µf + µf λ E[D]) / (λ (µf - λ))
+    return mu_eff * (1.0 + lambda * mean_setup) /
+           (lambda * (mu_eff - lambda));
+}
+
+double
+MM1SleepModel::meanPower(const Policy &policy, double lambda,
+                         double mu) const
+{
+    const MaterializedPlan plan(policy.plan, _platform, policy.frequency);
+    const double mu_eff = effectiveServiceRate(mu, policy.frequency);
+    const double cycle = cycleLength(plan, lambda, mu_eff);
+    const double p0 = _platform.activePower(policy.frequency);
+
+    // Idle-side energy weights: stage i is reached only if the idle
+    // period survives to τ_i.
+    const std::size_t n = plan.size();
+    double idle_power = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double survive_i = std::exp(-lambda * plan.enterAfter(i));
+        const double survive_next =
+            i + 1 < n ? std::exp(-lambda * plan.enterAfter(i + 1)) : 0.0;
+        idle_power += plan.power(i) * (survive_i - survive_next);
+    }
+
+    const double inv_cycle_rate = 1.0 / (lambda * cycle);
+    const double survive_first =
+        std::exp(-lambda * plan.enterAfter(0)); // = 1 when τ_1 = 0
+    return idle_power * inv_cycle_rate +
+           p0 * (1.0 - survive_first * inv_cycle_rate);
+}
+
+double
+MM1SleepModel::meanResponse(const Policy &policy, double lambda,
+                            double mu) const
+{
+    const MaterializedPlan plan(policy.plan, _platform, policy.frequency);
+    const double mu_eff = effectiveServiceRate(mu, policy.frequency);
+    fatalIf(mu_eff <= lambda,
+            "MM1SleepModel::meanResponse: unstable system");
+
+    const double d1 = setupMoment(plan, lambda, 1.0);
+    const double d2 = setupMoment(plan, lambda, 2.0);
+    return 1.0 / (mu_eff - lambda) +
+           (2.0 * d1 + lambda * d2) / (2.0 * (1.0 + lambda * d1));
+}
+
+double
+MM1SleepModel::meanResponseMG1(const Policy &policy, double lambda,
+                               double mu, double service_cv) const
+{
+    fatalIf(service_cv < 0.0,
+            "MM1SleepModel::meanResponseMG1: cv must be >= 0");
+    const MaterializedPlan plan(policy.plan, _platform, policy.frequency);
+    const double mu_eff = effectiveServiceRate(mu, policy.frequency);
+    fatalIf(mu_eff <= lambda,
+            "MM1SleepModel::meanResponseMG1: unstable system");
+
+    const double mean_service = 1.0 / mu_eff;
+    const double second_service =
+        (1.0 + service_cv * service_cv) * mean_service * mean_service;
+    const double rho = lambda * mean_service;
+
+    // Pollaczek-Khinchine waiting plus Welch's exceptional-first-service
+    // delay term (identical to the exponential case).
+    const double d1 = setupMoment(plan, lambda, 1.0);
+    const double d2 = setupMoment(plan, lambda, 2.0);
+    return mean_service +
+           lambda * second_service / (2.0 * (1.0 - rho)) +
+           (2.0 * d1 + lambda * d2) / (2.0 * (1.0 + lambda * d1));
+}
+
+double
+MM1SleepModel::tailProbability(const Policy &policy, double lambda,
+                               double mu, double d) const
+{
+    fatalIf(d < 0.0, "MM1SleepModel::tailProbability: d must be >= 0");
+    fatalIf(policy.plan.size() != 1,
+            "MM1SleepModel::tailProbability: the paper's closed form "
+            "covers single-stage plans only");
+
+    const MaterializedPlan plan(policy.plan, _platform, policy.frequency);
+    const double mu_eff = effectiveServiceRate(mu, policy.frequency);
+    fatalIf(mu_eff <= lambda,
+            "MM1SleepModel::tailProbability: unstable system");
+
+    const double gap = mu_eff - lambda;
+    const double w1 = plan.wakeLatency(0);
+    if (w1 == 0.0)
+        return std::exp(-gap * d);
+
+    const double denom = 1.0 - w1 * gap;
+    if (std::abs(denom) < 1e-12) {
+        // Removable singularity at w1 = 1/(µf - λ):
+        // lim Pr(R >= d) = e^{-gd} (1 + g d).
+        return std::exp(-gap * d) * (1.0 + gap * d);
+    }
+    return (std::exp(-gap * d) - w1 * gap * std::exp(-d / w1)) / denom;
+}
+
+double
+MM1SleepModel::meanSetupDelay(const Policy &policy, double lambda) const
+{
+    const MaterializedPlan plan(policy.plan, _platform, policy.frequency);
+    return setupMoment(plan, lambda, 1.0);
+}
+
+double
+MM1SleepModel::busyFraction(const Policy &policy, double lambda,
+                            double mu) const
+{
+    const MaterializedPlan plan(policy.plan, _platform, policy.frequency);
+    const double mu_eff = effectiveServiceRate(mu, policy.frequency);
+    const double cycle = cycleLength(plan, lambda, mu_eff);
+    const double survive_first = std::exp(-lambda * plan.enterAfter(0));
+    return 1.0 - survive_first / (lambda * cycle);
+}
+
+} // namespace sleepscale

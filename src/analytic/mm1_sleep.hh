@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Closed-form power/performance model (paper Section 4.3 and Appendix).
+ *
+ * For Poisson(λ) arrivals, exponential service at effective rate µf, and a
+ * sleep descent (P_i, τ_i, w_i), i = 1..n, the Appendix gives closed forms
+ * for the average power E[P], the mean response time E[R], and (for a
+ * single-stage plan) the response-time tail Pr(R >= d). These are the
+ * "idealized model" curves of Figure 6 and the verification target for the
+ * simulator (the paper: "results obtained from the closed-form expressions
+ * match those presented in Figure 1").
+ *
+ * The busy-fraction derivation of E[P] and the Welch decomposition behind
+ * E[R] extend to generally distributed service times (M/G/1): E[P] depends
+ * on service only through its mean, and E[R] picks up the standard
+ * Pollaczek-Khinchine waiting term. Both extensions are provided and
+ * cross-validated against simulation in the test suite.
+ */
+
+#ifndef SLEEPSCALE_ANALYTIC_MM1_SLEEP_HH
+#define SLEEPSCALE_ANALYTIC_MM1_SLEEP_HH
+
+#include "power/platform_model.hh"
+#include "sim/policy.hh"
+#include "workload/workload_spec.hh"
+
+namespace sleepscale {
+
+/**
+ * Closed-form evaluator bound to a platform and a service scaling law.
+ */
+class MM1SleepModel
+{
+  public:
+    /**
+     * @param platform Power model (not owned; must outlive the model).
+     * @param scaling Service-time dependence on frequency.
+     */
+    explicit MM1SleepModel(const PlatformModel &platform,
+                           ServiceScaling scaling =
+                               ServiceScaling::cpuBound());
+
+    /**
+     * Effective service rate µ_eff = µ f^alpha under the scaling law.
+     *
+     * @param mu Maximum service rate (1 / mean job size).
+     * @param f DVFS frequency factor.
+     */
+    double effectiveServiceRate(double mu, double f) const;
+
+    /** Whether the system is stable: λ < µ_eff. */
+    bool stable(double lambda, double mu, double f) const;
+
+    /**
+     * Average power E[P] in watts (Appendix formula).
+     *
+     * Exact for M/M/1 and, because it depends on service only through the
+     * mean, also for M/G/1 with the same mean.
+     *
+     * @param policy Joint frequency / sleep-plan choice.
+     * @param lambda Poisson arrival rate, jobs/s.
+     * @param mu Maximum service rate, jobs/s at f = 1.
+     */
+    double meanPower(const Policy &policy, double lambda, double mu) const;
+
+    /**
+     * Mean response time E[R] in seconds for exponential service
+     * (Appendix formula: M/M/1 term plus the exceptional-first-service
+     * delay term).
+     */
+    double meanResponse(const Policy &policy, double lambda,
+                        double mu) const;
+
+    /**
+     * Mean response time for generally distributed service with the given
+     * coefficient of variation (M/G/1 extension via Pollaczek-Khinchine).
+     *
+     * @param service_cv Coefficient of variation of the service demand.
+     */
+    double meanResponseMG1(const Policy &policy, double lambda, double mu,
+                           double service_cv) const;
+
+    /**
+     * Response-time tail Pr(R >= d) (Appendix formula).
+     *
+     * Only defined for single-stage plans (the paper's closed form is in
+     * terms of w_1 alone); fatal() for multi-stage plans.
+     *
+     * Note: the closed form's two-exponential mixture corresponds to an
+     * *exponentially distributed* setup time with mean w_1. For the
+     * deterministic wake-up the simulator implements it is exact at
+     * w_1 = 0 and an approximation otherwise, tight while
+     * w_1 (µf - λ) << 1 (true for every state except C6S3, whose 1 s
+     * latency is why the paper reserves it for very long idle periods).
+     * The test suite validates the formula against an exponential-setup
+     * Monte Carlo and documents the deterministic-setup gap.
+     *
+     * @param d Deadline in seconds (>= 0).
+     */
+    double tailProbability(const Policy &policy, double lambda, double mu,
+                           double d) const;
+
+    /**
+     * Mean wake-up delay E[D] experienced by the job that opens a busy
+     * period (Appendix E[D^a] with a = 1).
+     */
+    double meanSetupDelay(const Policy &policy, double lambda) const;
+
+    /** Fraction of time the server is busy or waking. */
+    double busyFraction(const Policy &policy, double lambda,
+                        double mu) const;
+
+    /** Underlying platform. */
+    const PlatformModel &platform() const { return _platform; }
+
+    /** Service scaling law in use. */
+    ServiceScaling scaling() const { return _scaling; }
+
+  private:
+    const PlatformModel &_platform;
+    ServiceScaling _scaling;
+
+    /** E[D^order] over the sleep descent for Poisson(λ) idle periods. */
+    double setupMoment(const MaterializedPlan &plan, double lambda,
+                       double order) const;
+
+    /** Expected cycle length L of the Appendix. */
+    double cycleLength(const MaterializedPlan &plan, double lambda,
+                       double mu_eff) const;
+};
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_ANALYTIC_MM1_SLEEP_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The policy manager (paper Section 5.1).
+ *
+ * Given a statistical description of the current workload — either an
+ * empirical job log (SleepScale proper) or (λ, µ) rates (the idealized
+ * model) — characterize every candidate (frequency, sleep plan) pair and
+ * return the one that minimizes average power subject to the QoS
+ * constraint. Characterization of a candidate is one run of the queueing
+ * simulation (Algorithm 1) over the log, or one closed-form evaluation.
+ */
+
+#ifndef SLEEPSCALE_CORE_POLICY_MANAGER_HH
+#define SLEEPSCALE_CORE_POLICY_MANAGER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy_space.hh"
+#include "core/qos.hh"
+#include "power/platform_model.hh"
+#include "sim/server_sim.hh"
+#include "workload/job.hh"
+#include "workload/workload_spec.hh"
+
+namespace sleepscale {
+
+/** Outcome of one policy selection. */
+struct PolicyDecision
+{
+    /** The selected policy. */
+    Policy policy;
+
+    /** True if some candidate met the QoS constraint. When false the
+     * returned policy is the best-effort (fastest) candidate. */
+    bool feasible = false;
+
+    /** Predicted average power of the selection, watts. */
+    double predictedPower = 0.0;
+
+    /** Predicted value of the constrained QoS metric, seconds. */
+    double predictedMetric = 0.0;
+
+    /** Candidates actually characterized (stable ones). */
+    std::uint64_t evaluated = 0;
+};
+
+/** Searches a PolicySpace for the minimum-power QoS-feasible policy. */
+class PolicyManager
+{
+  public:
+    /**
+     * @param platform Power model (not owned; must outlive the manager).
+     * @param scaling Service-time scaling law of the hosted workload.
+     * @param space Candidate plans and frequencies.
+     * @param qos Constraint candidate policies must satisfy.
+     */
+    PolicyManager(const PlatformModel &platform, ServiceScaling scaling,
+                  PolicySpace space, QosConstraint qos);
+
+    /**
+     * Select the best policy for an empirical job log (SleepScale mode).
+     *
+     * Every stable candidate is characterized by simulating the log
+     * (paper Algorithm 1); unstable frequencies (offered load at or above
+     * the effective service rate) are skipped, mirroring the paper's
+     * f >= ρ + 0.01 floor.
+     *
+     * @param log Arrival-ordered jobs; needs at least two jobs.
+     */
+    PolicyDecision selectFromLog(const std::vector<Job> &log) const;
+
+    /**
+     * Select the best policy under the idealized model (closed forms, no
+     * simulation) — the paper's Figure 6 solid lines.
+     *
+     * @param lambda Poisson arrival rate, jobs/s.
+     * @param mu Maximum service rate, jobs/s at f = 1.
+     */
+    PolicyDecision selectAnalytic(double lambda, double mu) const;
+
+    /** The QoS constraint in force. */
+    const QosConstraint &qos() const { return _qos; }
+
+    /** The candidate space. */
+    const PolicySpace &space() const { return _space; }
+
+    /** Offered load of a job log: total demand / spanned time. */
+    static double logOfferedLoad(const std::vector<Job> &log);
+
+    /** Mean job size of a log, seconds at f = 1. */
+    static double logMeanSize(const std::vector<Job> &log);
+
+  private:
+    const PlatformModel &_platform;
+    ServiceScaling _scaling;
+    PolicySpace _space;
+    QosConstraint _qos;
+
+    /** Smallest stable frequency for an offered load ρ (paper's ρ+0.01
+     * floor, adjusted for the scaling exponent). */
+    double minStableFrequency(double rho) const;
+};
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_CORE_POLICY_MANAGER_HH

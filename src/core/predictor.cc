@@ -1,0 +1,262 @@
+#include "core/predictor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+// ---------------------------------------------------------- NaivePrevious
+
+NaivePreviousPredictor::NaivePreviousPredictor(double initial)
+    : _last(initial)
+{
+    fatalIf(initial < 0.0 || initial > 1.0,
+            "NaivePreviousPredictor: initial must be in [0, 1]");
+}
+
+double
+NaivePreviousPredictor::predict(std::size_t minute)
+{
+    (void)minute;
+    return _last;
+}
+
+void
+NaivePreviousPredictor::observe(std::size_t minute, double utilization)
+{
+    (void)minute;
+    _last = std::clamp(utilization, 0.0, 1.0);
+}
+
+// -------------------------------------------------------------------- LMS
+
+LmsPredictor::LmsPredictor(std::size_t history, double initial, double step)
+    : _maxHistory(history), _initial(initial), _step(step)
+{
+    fatalIf(history == 0, "LmsPredictor: history must be positive");
+    fatalIf(step <= 0.0 || step >= 2.0,
+            "LmsPredictor: NLMS step must be in (0, 2)");
+    _weights.assign(history, 1.0 / static_cast<double>(history));
+}
+
+namespace {
+
+/** Plain average used while the history is shorter than the filter. */
+double
+partialHistoryAverage(const std::vector<double> &history)
+{
+    double sum = 0.0;
+    for (double h : history)
+        sum += h;
+    return sum / static_cast<double>(history.size());
+}
+
+} // namespace
+
+double
+LmsPredictor::forecast() const
+{
+    if (_history.empty())
+        return _initial;
+    // Until the delay line fills, a weighted sum over missing samples
+    // would be biased low; average what exists instead.
+    if (_history.size() < _weights.size())
+        return std::clamp(partialHistoryAverage(_history), 0.0, 1.0);
+    double estimate = 0.0;
+    for (std::size_t i = 0; i < _weights.size(); ++i)
+        estimate += _weights[i] * _history[i];
+    // The paper's Algorithm 2 clamps the forecast at 1; negative
+    // transients are clamped symmetrically.
+    return std::clamp(estimate, 0.0, 1.0);
+}
+
+void
+LmsPredictor::adapt(double error)
+{
+    // Normalized LMS: v <- v + step * e * x / (||x||^2 + eps); the
+    // normalization keeps adaptation stable for any input scale.
+    const std::size_t taps = std::min(_weights.size(), _history.size());
+    if (taps == 0)
+        return;
+    double norm = 1e-6;
+    for (std::size_t i = 0; i < taps; ++i)
+        norm += _history[i] * _history[i];
+    for (std::size_t i = 0; i < taps; ++i)
+        _weights[i] += _step * error * _history[i] / norm;
+}
+
+void
+LmsPredictor::pushHistory(double utilization)
+{
+    _history.insert(_history.begin(),
+                    std::clamp(utilization, 0.0, 1.0));
+    if (_history.size() > _maxHistory)
+        _history.pop_back();
+}
+
+double
+LmsPredictor::predict(std::size_t minute)
+{
+    (void)minute;
+    return forecast();
+}
+
+void
+LmsPredictor::observe(std::size_t minute, double utilization)
+{
+    (void)minute;
+    const double error =
+        std::clamp(utilization, 0.0, 1.0) - forecast();
+    adapt(error);
+    pushHistory(utilization);
+}
+
+// -------------------------------------------------------------- LMS+CUSUM
+
+LmsCusumPredictor::LmsCusumPredictor(std::size_t history, double initial,
+                                     double step)
+    : _maxHistory(history), _step(step), _initial(initial),
+      _currentTaps(history)
+{
+    fatalIf(history == 0, "LmsCusumPredictor: history must be positive");
+    fatalIf(step <= 0.0 || step >= 2.0,
+            "LmsCusumPredictor: NLMS step must be in (0, 2)");
+    _weights.assign(history, 1.0 / static_cast<double>(history));
+}
+
+double
+LmsCusumPredictor::forecast() const
+{
+    if (_history.empty())
+        return _initial;
+    if (_history.size() < _currentTaps)
+        return std::clamp(partialHistoryAverage(_history), 0.0, 1.0);
+    double estimate = 0.0;
+    for (std::size_t i = 0; i < _currentTaps; ++i)
+        estimate += _weights[i] * _history[i];
+    return std::clamp(estimate, 0.0, 1.0);
+}
+
+void
+LmsCusumPredictor::resizeTaps(std::size_t taps)
+{
+    // Algorithm 2 lines 10 and 12: redistribute the accumulated gain
+    // sum(v) uniformly over the new tap count.
+    const double gain =
+        std::accumulate(_weights.begin(),
+                        _weights.begin() +
+                            static_cast<std::ptrdiff_t>(_currentTaps),
+                        0.0);
+    _currentTaps = taps;
+    _weights.assign(_maxHistory, 0.0);
+    for (std::size_t i = 0; i < taps; ++i)
+        _weights[i] = gain / static_cast<double>(taps);
+}
+
+double
+LmsCusumPredictor::predict(std::size_t minute)
+{
+    (void)minute;
+    return forecast();
+}
+
+void
+LmsCusumPredictor::observe(std::size_t minute, double utilization)
+{
+    (void)minute;
+    const double actual = std::clamp(utilization, 0.0, 1.0);
+    const double error = actual - forecast();
+    const double abs_error = std::abs(error);
+
+    // NLMS update over the active taps (Algorithm 2 line 7).
+    {
+        const std::size_t taps = std::min(
+            _currentTaps, std::min(_weights.size(), _history.size()));
+        if (taps > 0) {
+            double norm = 1e-6;
+            for (std::size_t i = 0; i < taps; ++i)
+                norm += _history[i] * _history[i];
+            for (std::size_t i = 0; i < taps; ++i)
+                _weights[i] += _step * error * _history[i] / norm;
+        }
+    }
+
+    // One-sided CUSUM on |error| with EWMA-adaptive drift/threshold
+    // (Algorithm 2 lines 8-13; the paper leaves the test parameters
+    // open, see DESIGN.md). The drift and threshold are derived from the
+    // error statistics *before* absorbing the current error — otherwise a
+    // genuine change point inflates its own detection threshold.
+    ++_observations;
+    const double error_std = std::sqrt(_errorVarEwma);
+    const double drift = _errorEwma + 0.5 * error_std;
+    const double threshold = 4.0 * error_std + 0.02;
+    _cusum = std::max(0.0, _cusum + abs_error - drift);
+
+    const bool warmed_up = _observations > 3;
+    if (warmed_up && _cusum > threshold) {
+        resizeTaps(1);          // Track: drop all smoothing.
+        _history.clear();       // The old regime's samples are invalid.
+        _cusum = 0.0;
+        ++_changes;
+    } else if (_currentTaps < _maxHistory) {
+        resizeTaps(_currentTaps + 1); // Re-grow toward stationarity.
+    }
+
+    constexpr double beta = 0.9;
+    const double deviation = abs_error - _errorEwma;
+    _errorEwma = beta * _errorEwma + (1.0 - beta) * abs_error;
+    _errorVarEwma =
+        beta * _errorVarEwma + (1.0 - beta) * deviation * deviation;
+
+    _history.insert(_history.begin(), actual);
+    if (_history.size() > _maxHistory)
+        _history.pop_back();
+}
+
+// ---------------------------------------------------------------- Offline
+
+OfflinePredictor::OfflinePredictor(std::vector<double> trace)
+    : _trace(std::move(trace))
+{
+    fatalIf(_trace.empty(), "OfflinePredictor: empty trace");
+}
+
+double
+OfflinePredictor::predict(std::size_t minute)
+{
+    fatalIf(minute >= _trace.size(),
+            "OfflinePredictor: minute beyond the trace");
+    return _trace[minute];
+}
+
+void
+OfflinePredictor::observe(std::size_t minute, double utilization)
+{
+    (void)minute;
+    (void)utilization;
+}
+
+// ---------------------------------------------------------------- factory
+
+std::unique_ptr<UtilizationPredictor>
+makePredictor(const std::string &name, std::size_t history,
+              const std::vector<double> &trace)
+{
+    if (name == "NP")
+        return std::make_unique<NaivePreviousPredictor>();
+    if (name == "LMS")
+        return std::make_unique<LmsPredictor>(history);
+    if (name == "LC")
+        return std::make_unique<LmsCusumPredictor>(history);
+    if (name == "Offline") {
+        fatalIf(trace.empty(),
+                "makePredictor: the offline predictor needs a trace");
+        return std::make_unique<OfflinePredictor>(trace);
+    }
+    fatal("makePredictor: unknown predictor '" + name + "'");
+}
+
+} // namespace sleepscale

@@ -1,0 +1,284 @@
+#include "core/runtime.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+#include "workload/job_stream.hh"
+
+namespace sleepscale {
+
+namespace {
+
+constexpr double secondsPerMinute = 60.0;
+
+QosConstraint
+deriveQos(const RuntimeConfig &config, const WorkloadSpec &spec)
+{
+    if (config.qosMetric == QosMetric::MeanResponse)
+        return QosConstraint::fromBaselineMean(config.rhoB,
+                                               spec.serviceMean);
+    return QosConstraint::fromBaselineTail(config.rhoB, spec.serviceMean);
+}
+
+} // namespace
+
+std::array<double, numLowPowerStates>
+RuntimeResult::stateSelectionFractions() const
+{
+    std::array<double, numLowPowerStates> fractions{};
+    std::size_t decided = 0;
+    for (const EpochReport &epoch : epochs) {
+        if (!epoch.decided)
+            continue;
+        ++decided;
+        ++fractions[depthIndex(epoch.policy.plan.deepest())];
+    }
+    if (decided == 0)
+        return fractions;
+    for (double &fraction : fractions)
+        fraction /= static_cast<double>(decided);
+    return fractions;
+}
+
+SleepScaleRuntime::SleepScaleRuntime(const PlatformModel &platform,
+                                     const WorkloadSpec &spec,
+                                     RuntimeConfig config)
+    : _platform(platform), _spec(spec), _config(std::move(config)),
+      _qos(deriveQos(_config, spec))
+{
+    fatalIf(_config.epochMinutes == 0,
+            "SleepScaleRuntime: epochMinutes must be positive");
+    fatalIf(_config.overProvision < 0.0,
+            "SleepScaleRuntime: overProvision must be >= 0");
+    fatalIf(_config.evalLogCap < 2,
+            "SleepScaleRuntime: evalLogCap must be at least 2");
+    fatalIf(_config.historyEpochs == 0,
+            "SleepScaleRuntime: historyEpochs must be positive");
+}
+
+std::vector<Job>
+SleepScaleRuntime::buildEvalLog(const std::vector<Job> &history,
+                                double predicted) const
+{
+    if (history.size() < 2)
+        return {};
+
+    // Keep only the most recent jobs up to the cap.
+    const std::size_t keep = std::min(_config.evalLogCap,
+                                      history.size());
+    const std::size_t first = history.size() - keep;
+
+    // Measured offered load across the kept window: demand of the jobs
+    // that follow the first kept arrival over the spanned time.
+    const double span =
+        history.back().arrival - history[first].arrival;
+    if (span <= 0.0)
+        return {};
+    double demand = 0.0;
+    for (std::size_t i = first + 1; i < history.size(); ++i)
+        demand += history[i].size;
+    const double measured = demand / span;
+    if (measured <= 0.0)
+        return {};
+
+    // Rescale arrival gaps so the log's offered load equals the
+    // prediction; job sizes are untouched (the service distribution is
+    // stationary, Section 6). The first kept job is re-anchored at one
+    // mean gap.
+    const double target = std::clamp(predicted, 0.01, 0.99);
+    const double gap_scale = measured / target;
+    const double mean_gap =
+        span / static_cast<double>(keep - 1) * gap_scale;
+
+    std::vector<Job> log;
+    log.reserve(keep);
+    double clock = mean_gap;
+    log.push_back({clock, history[first].size});
+    for (std::size_t i = first + 1; i < history.size(); ++i) {
+        clock += (history[i].arrival - history[i - 1].arrival) *
+                 gap_scale;
+        log.push_back({clock, history[i].size});
+    }
+    return log;
+}
+
+RuntimeResult
+SleepScaleRuntime::run(const std::vector<Job> &jobs,
+                       const UtilizationTrace &trace,
+                       UtilizationPredictor &predictor) const
+{
+    fatalIf(trace.empty(), "SleepScaleRuntime::run: empty trace");
+
+    const std::size_t minutes = trace.size();
+    const unsigned epoch_len = _config.epochMinutes;
+
+    const PolicyManager manager(_platform, _spec.scaling, _config.space,
+                                _qos);
+    ServerSim sim(_platform, _spec.scaling, _config.initialPolicy);
+
+    RuntimeResult result;
+    result.qos = _qos;
+    result.total.windowStart = 0.0;
+
+    std::size_t next_job = 0;
+    std::vector<Job> epoch_jobs;  // Arrivals inside the current epoch.
+    // Rolling log of the last historyEpochs epochs' arrivals, capped at
+    // evalLogCap jobs (Section 5.2.1 logs events from previous epochs).
+    std::vector<Job> history_jobs;
+    std::vector<std::size_t> history_counts; // jobs per logged epoch
+    bool last_epoch_within_budget = false;
+    Policy current = _config.initialPolicy;
+
+    auto absorb_epoch_into_history = [&](const std::vector<Job> &jobs_in) {
+        history_jobs.insert(history_jobs.end(), jobs_in.begin(),
+                            jobs_in.end());
+        history_counts.push_back(jobs_in.size());
+        while (history_counts.size() > _config.historyEpochs) {
+            history_jobs.erase(history_jobs.begin(),
+                               history_jobs.begin() +
+                                   static_cast<std::ptrdiff_t>(
+                                       history_counts.front()));
+            history_counts.erase(history_counts.begin());
+        }
+        // Enforce the job cap, deducting the dropped jobs from the
+        // oldest epochs' counts so both views stay consistent.
+        if (history_jobs.size() > _config.evalLogCap) {
+            std::size_t excess =
+                history_jobs.size() - _config.evalLogCap;
+            history_jobs.erase(history_jobs.begin(),
+                               history_jobs.begin() +
+                                   static_cast<std::ptrdiff_t>(excess));
+            while (excess > 0) {
+                if (history_counts.front() <= excess) {
+                    excess -= history_counts.front();
+                    history_counts.erase(history_counts.begin());
+                } else {
+                    history_counts.front() -= excess;
+                    excess = 0;
+                }
+            }
+        }
+    };
+
+    EpochReport epoch;
+    epoch.policy = current;
+
+    for (std::size_t minute = 0; minute < minutes; ++minute) {
+        const double t = static_cast<double>(minute) * secondsPerMinute;
+
+        if (minute % epoch_len == 0) {
+            // ---- Epoch boundary ----
+            sim.advanceTo(t);
+
+            if (minute > 0) {
+                epoch.stats = sim.harvestWindow();
+                epoch.measuredUtilization =
+                    offeredLoad(epoch_jobs,
+                                static_cast<double>(epoch_len) *
+                                    secondsPerMinute);
+                last_epoch_within_budget =
+                    epoch.stats.completions > 0 &&
+                    _qos.satisfiedBy(epoch.stats);
+                result.epochs.push_back(epoch);
+
+                absorb_epoch_into_history(epoch_jobs);
+                epoch_jobs.clear();
+            }
+
+            epoch = EpochReport{};
+            epoch.index = result.epochs.size();
+            epoch.startTime = t;
+
+            const double predicted =
+                std::clamp(predictor.predict(minute), 0.0, 1.0);
+            epoch.predictedUtilization = predicted;
+
+            if (_config.fixedPolicy) {
+                current = *_config.fixedPolicy;
+                epoch.decided = true;
+                epoch.feasible = true;
+            } else if (!history_jobs.empty()) {
+                const std::vector<Job> log =
+                    buildEvalLog(history_jobs, predicted);
+                if (log.size() >= 2) {
+                    const PolicyDecision decision =
+                        manager.selectFromLog(log);
+                    current = decision.policy;
+                    epoch.feasible = decision.feasible;
+                    epoch.decided = true;
+
+                    // Over-provisioning guard band (Section 5.2.3).
+                    if (_config.overProvision > 0.0 &&
+                        last_epoch_within_budget) {
+                        const double boosted = std::min(
+                            1.0, current.frequency *
+                                     (1.0 + _config.overProvision));
+                        if (boosted > current.frequency) {
+                            current.frequency = boosted;
+                            epoch.boosted = true;
+                        }
+                    }
+                }
+            }
+
+            epoch.policy = current;
+            sim.setPolicy(current, t);
+        }
+
+        // ---- Run the minute ----
+        const double minute_end = t + secondsPerMinute;
+        double minute_demand = 0.0;
+        while (next_job < jobs.size() &&
+               jobs[next_job].arrival < minute_end) {
+            sim.offerJob(jobs[next_job]);
+            epoch_jobs.push_back(jobs[next_job]);
+            minute_demand += jobs[next_job].size;
+            ++next_job;
+        }
+        sim.advanceTo(minute_end);
+
+        const double observed =
+            std::clamp(minute_demand / secondsPerMinute, 0.0, 1.0);
+        predictor.observe(minute, observed);
+    }
+
+    // ---- Drain: let the backlog complete so every response counts ----
+    const double horizon =
+        std::max(trace.duration(), sim.nextFreeTime());
+    sim.advanceTo(horizon);
+    epoch.stats = sim.harvestWindow();
+    epoch.measuredUtilization = offeredLoad(
+        epoch_jobs, static_cast<double>(epoch_len) * secondsPerMinute);
+    result.epochs.push_back(epoch);
+
+    for (const EpochReport &report : result.epochs)
+        result.total.merge(report.stats);
+    return result;
+}
+
+CsvTable
+epochsToCsv(const RuntimeResult &result)
+{
+    CsvTable table;
+    table.headers = {"epoch",     "start_s",    "predicted_util",
+                     "measured_util", "frequency", "state_depth",
+                     "boosted",   "feasible",   "mean_response_s",
+                     "p95_response_s", "avg_power_w", "completions"};
+    for (const EpochReport &epoch : result.epochs) {
+        table.addRow({static_cast<double>(epoch.index), epoch.startTime,
+                      epoch.predictedUtilization,
+                      epoch.measuredUtilization, epoch.policy.frequency,
+                      static_cast<double>(
+                          depthIndex(epoch.policy.plan.deepest())),
+                      epoch.boosted ? 1.0 : 0.0,
+                      epoch.feasible ? 1.0 : 0.0,
+                      epoch.stats.meanResponse(),
+                      epoch.stats.responsePercentile(95.0),
+                      epoch.stats.avgPower(),
+                      static_cast<double>(epoch.stats.completions)});
+    }
+    return table;
+}
+
+} // namespace sleepscale

@@ -1,0 +1,58 @@
+#include "core/strategies.hh"
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+std::string
+toString(StrategyKind kind)
+{
+    switch (kind) {
+      case StrategyKind::SleepScale:
+        return "SS";
+      case StrategyKind::SleepScaleC3:
+        return "SS(C3)";
+      case StrategyKind::DvfsOnly:
+        return "DVFS";
+      case StrategyKind::RaceToHaltC3:
+        return "R2H(C3)";
+      case StrategyKind::RaceToHaltC6:
+        return "R2H(C6)";
+    }
+    panic("toString: unknown StrategyKind");
+}
+
+RuntimeConfig
+makeStrategyConfig(StrategyKind kind, unsigned epoch_minutes,
+                   double over_provision, double rho_b,
+                   QosMetric qos_metric)
+{
+    RuntimeConfig config;
+    config.epochMinutes = epoch_minutes;
+    config.overProvision = over_provision;
+    config.rhoB = rho_b;
+    config.qosMetric = qos_metric;
+
+    switch (kind) {
+      case StrategyKind::SleepScale:
+        config.space = PolicySpace::standard();
+        break;
+      case StrategyKind::SleepScaleC3:
+        config.space = PolicySpace::singlePlan(
+            SleepPlan::immediate(LowPowerState::C3S0Idle));
+        break;
+      case StrategyKind::DvfsOnly:
+        config.space = PolicySpace::singlePlan(
+            SleepPlan::immediate(LowPowerState::C0IdleS0Idle));
+        break;
+      case StrategyKind::RaceToHaltC3:
+        config.fixedPolicy = raceToHalt(LowPowerState::C3S0Idle);
+        break;
+      case StrategyKind::RaceToHaltC6:
+        config.fixedPolicy = raceToHalt(LowPowerState::C6S0Idle);
+        break;
+    }
+    return config;
+}
+
+} // namespace sleepscale

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The named power-management strategies compared in the paper's Figure 9.
+ *
+ * Every strategy is a RuntimeConfig for the shared SleepScaleRuntime, so
+ * comparisons use identical workload feeds, accounting, and predictors:
+ *
+ *  - SS:       full SleepScale (all five states x frequency grid).
+ *  - SS(C3):   SleepScale restricted to the single state C3S0(i).
+ *  - DVFS:     frequency management only; idles in C0(i)S0(i) (the state
+ *              a frequency governor gets with no C-state management) and
+ *              may not enter deeper states.
+ *  - R2H(C3):  race-to-halt at f = 1 into C3S0(i).
+ *  - R2H(C6):  race-to-halt at f = 1 into C6S0(i).
+ */
+
+#ifndef SLEEPSCALE_CORE_STRATEGIES_HH
+#define SLEEPSCALE_CORE_STRATEGIES_HH
+
+#include <array>
+#include <string>
+
+#include "core/runtime.hh"
+
+namespace sleepscale {
+
+/** Identifier of a named strategy. */
+enum class StrategyKind
+{
+    SleepScale,     ///< "SS"
+    SleepScaleC3,   ///< "SS(C3)"
+    DvfsOnly,       ///< "DVFS"
+    RaceToHaltC3,   ///< "R2H(C3)"
+    RaceToHaltC6,   ///< "R2H(C6)"
+};
+
+/** All strategies in the paper's Figure 9 order. */
+inline constexpr std::array<StrategyKind, 5> allStrategies = {
+    StrategyKind::SleepScale,   StrategyKind::SleepScaleC3,
+    StrategyKind::DvfsOnly,     StrategyKind::RaceToHaltC3,
+    StrategyKind::RaceToHaltC6,
+};
+
+/** Paper-style label, e.g. "R2H(C6)". */
+std::string toString(StrategyKind kind);
+
+/**
+ * Build the RuntimeConfig of a named strategy.
+ *
+ * @param kind Which strategy.
+ * @param epoch_minutes Policy update interval T.
+ * @param over_provision Over-provisioning factor α (applies to the
+ *        policy-managed strategies; race-to-halt is already at f = 1).
+ * @param rho_b Peak design utilization anchoring the QoS budget.
+ * @param qos_metric Which response-time statistic the QoS bounds.
+ */
+RuntimeConfig makeStrategyConfig(StrategyKind kind, unsigned epoch_minutes,
+                                 double over_provision, double rho_b,
+                                 QosMetric qos_metric =
+                                     QosMetric::MeanResponse);
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_CORE_STRATEGIES_HH

@@ -1,0 +1,111 @@
+#include "farm/dispatcher.hh"
+
+#include <limits>
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+namespace {
+
+void
+requireServers(const std::vector<ServerSnapshot> &servers)
+{
+    fatalIf(servers.empty(), "Dispatcher: farm has no servers");
+}
+
+} // namespace
+
+RandomDispatcher::RandomDispatcher(std::uint64_t seed)
+    : _rng(seed)
+{
+}
+
+std::size_t
+RandomDispatcher::route(const Job &job,
+                        const std::vector<ServerSnapshot> &servers)
+{
+    (void)job;
+    requireServers(servers);
+    return _rng.uniformInt(servers.size());
+}
+
+std::size_t
+RoundRobinDispatcher::route(const Job &job,
+                            const std::vector<ServerSnapshot> &servers)
+{
+    (void)job;
+    requireServers(servers);
+    const std::size_t pick = _next % servers.size();
+    ++_next;
+    return pick;
+}
+
+std::size_t
+JsqDispatcher::route(const Job &job,
+                     const std::vector<ServerSnapshot> &servers)
+{
+    (void)job;
+    requireServers(servers);
+    std::size_t best = 0;
+    double best_backlog = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        if (servers[i].backlog < best_backlog) {
+            best_backlog = servers[i].backlog;
+            best = i;
+        }
+    }
+    return best;
+}
+
+PackingDispatcher::PackingDispatcher(double spill_backlog)
+    : _spillBacklog(spill_backlog)
+{
+    fatalIf(spill_backlog <= 0.0,
+            "PackingDispatcher: spill backlog must be positive");
+}
+
+std::size_t
+PackingDispatcher::route(const Job &job,
+                         const std::vector<ServerSnapshot> &servers)
+{
+    (void)job;
+    requireServers(servers);
+
+    // Least-backlogged busy server below the spill threshold...
+    std::size_t best_busy = servers.size();
+    double best_backlog = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        if (!servers[i].idle && servers[i].backlog < best_backlog) {
+            best_backlog = servers[i].backlog;
+            best_busy = i;
+        }
+    }
+    if (best_busy < servers.size() && best_backlog < _spillBacklog)
+        return best_busy;
+
+    // ...otherwise wake the first idle server...
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        if (servers[i].idle)
+            return i;
+    }
+    // ...and if none is idle, fall back to JSQ.
+    return best_busy < servers.size() ? best_busy : 0;
+}
+
+std::unique_ptr<Dispatcher>
+makeDispatcher(const std::string &name, std::uint64_t seed,
+               double spill_backlog)
+{
+    if (name == "random")
+        return std::make_unique<RandomDispatcher>(seed);
+    if (name == "round-robin")
+        return std::make_unique<RoundRobinDispatcher>();
+    if (name == "JSQ")
+        return std::make_unique<JsqDispatcher>();
+    if (name == "packing")
+        return std::make_unique<PackingDispatcher>(spill_backlog);
+    fatal("makeDispatcher: unknown dispatcher '" + name + "'");
+}
+
+} // namespace sleepscale

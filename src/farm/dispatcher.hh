@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Job dispatchers for multi-server farms (paper Section 7 future work).
+ *
+ * The paper conjectures SleepScale scales out by running per server,
+ * with a front-end spreading jobs across the farm. The dispatcher
+ * decides which server each arrival joins; the choice shapes both the
+ * response-time distribution and — because it determines idle-period
+ * lengths — how much sleep-state headroom each server sees.
+ */
+
+#ifndef SLEEPSCALE_FARM_DISPATCHER_HH
+#define SLEEPSCALE_FARM_DISPATCHER_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+#include "workload/job.hh"
+
+namespace sleepscale {
+
+/** Read-only per-server signals a dispatcher may consult. */
+struct ServerSnapshot
+{
+    double backlog = 0.0;   ///< Committed seconds of work remaining.
+    bool idle = true;       ///< Whether the queue is currently empty.
+};
+
+/** Strategy interface: pick a server index for each arrival. */
+class Dispatcher
+{
+  public:
+    virtual ~Dispatcher() = default;
+
+    /**
+     * Route one job.
+     *
+     * @param job The arriving job.
+     * @param servers Current per-server state, one entry per server.
+     * @return Index of the chosen server (< servers.size()).
+     */
+    virtual std::size_t route(const Job &job,
+                              const std::vector<ServerSnapshot> &servers)
+        = 0;
+
+    /** Name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Uniformly random routing (splits a Poisson stream into thinner
+ * Poisson streams; the baseline in the server-farm literature). */
+class RandomDispatcher final : public Dispatcher
+{
+  public:
+    explicit RandomDispatcher(std::uint64_t seed = 1);
+    std::size_t route(const Job &job,
+                      const std::vector<ServerSnapshot> &servers)
+        override;
+    std::string name() const override { return "random"; }
+
+  private:
+    Rng _rng;
+};
+
+/** Cyclic routing: deterministic, evens out arrival counts. */
+class RoundRobinDispatcher final : public Dispatcher
+{
+  public:
+    std::size_t route(const Job &job,
+                      const std::vector<ServerSnapshot> &servers)
+        override;
+    std::string name() const override { return "round-robin"; }
+
+  private:
+    std::size_t _next = 0;
+};
+
+/** Join-shortest-queue by committed backlog (ties -> lowest index). */
+class JsqDispatcher final : public Dispatcher
+{
+  public:
+    std::size_t route(const Job &job,
+                      const std::vector<ServerSnapshot> &servers)
+        override;
+    std::string name() const override { return "JSQ"; }
+};
+
+/**
+ * Sleep-aware packing: prefer the least-backlogged *busy* server so
+ * idle servers stay asleep; spill to an idle server only when every
+ * busy server's backlog exceeds a threshold. Concentrating work is the
+ * classic consolidation play for sleep-state effectiveness.
+ */
+class PackingDispatcher final : public Dispatcher
+{
+  public:
+    /**
+     * @param spill_backlog Backlog (seconds) beyond which an idle
+     *        server is woken instead of queueing deeper.
+     */
+    explicit PackingDispatcher(double spill_backlog);
+    std::size_t route(const Job &job,
+                      const std::vector<ServerSnapshot> &servers)
+        override;
+    std::string name() const override { return "packing"; }
+
+  private:
+    double _spillBacklog;
+};
+
+/** Factory by name: "random", "round-robin", "JSQ", or "packing". */
+std::unique_ptr<Dispatcher> makeDispatcher(const std::string &name,
+                                           std::uint64_t seed = 1,
+                                           double spill_backlog = 1.0);
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_FARM_DISPATCHER_HH

@@ -1,0 +1,199 @@
+#include "farm/farm_runtime.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/policy_manager.hh"
+#include "util/error.hh"
+#include "workload/job_stream.hh"
+
+namespace sleepscale {
+
+namespace {
+
+constexpr double secondsPerMinute = 60.0;
+
+} // namespace
+
+std::vector<Job>
+generateFarmJobs(Rng &rng, const WorkloadSpec &spec,
+                 const UtilizationTrace &trace, std::size_t farm_size)
+{
+    fatalIf(farm_size == 0, "generateFarmJobs: farm size must be >= 1");
+    // A farm at per-server load rho sees rho * size aggregate demand:
+    // shrink the mean inter-arrival by the farm size while keeping the
+    // gap distribution's shape.
+    WorkloadSpec aggregate = spec;
+    aggregate.serviceMean =
+        spec.serviceMean / static_cast<double>(farm_size);
+    auto jobs = generateTraceDrivenJobs(rng, aggregate, trace);
+    // Restore true service demands (only the arrival rate scales).
+    const auto service = spec.makeService();
+    for (Job &job : jobs)
+        job.size = service->sample(rng);
+    return jobs;
+}
+
+FarmRuntime::FarmRuntime(const PlatformModel &platform,
+                         const WorkloadSpec &spec,
+                         FarmRuntimeConfig config)
+    : _platform(platform), _spec(spec), _config(std::move(config)),
+      _qos(_config.perServer.qosMetric == QosMetric::MeanResponse
+               ? QosConstraint::fromBaselineMean(_config.perServer.rhoB,
+                                                 spec.serviceMean)
+               : QosConstraint::fromBaselineTail(_config.perServer.rhoB,
+                                                 spec.serviceMean))
+{
+    fatalIf(_config.farmSize == 0,
+            "FarmRuntime: farm size must be >= 1");
+    fatalIf(_config.perServer.epochMinutes == 0,
+            "FarmRuntime: epochMinutes must be positive");
+}
+
+FarmRuntimeResult
+FarmRuntime::run(const std::vector<Job> &jobs,
+                 const UtilizationTrace &trace,
+                 UtilizationPredictor &predictor) const
+{
+    fatalIf(trace.empty(), "FarmRuntime::run: empty trace");
+
+    const std::size_t minutes = trace.size();
+    const unsigned epoch_len = _config.perServer.epochMinutes;
+    const double farm_size = static_cast<double>(_config.farmSize);
+
+    const PolicyManager manager(_platform, _spec.scaling,
+                                _config.perServer.space, _qos);
+    ServerFarm farm(_platform, _spec.scaling,
+                    _config.perServer.initialPolicy, _config.farmSize,
+                    makeDispatcher(_config.dispatcher,
+                                   _config.dispatchSeed,
+                                   _config.packingSpillBacklog));
+
+    FarmRuntimeResult result;
+    result.qos = _qos;
+
+    std::size_t next_job = 0;
+    std::vector<Job> history;     // Thinned to one server's view.
+    std::size_t thin_counter = 0;
+    bool last_epoch_within_budget = false;
+    Policy current = _config.perServer.initialPolicy;
+    Rng thin_rng(_config.dispatchSeed + 77);
+
+    EpochReport epoch;
+    epoch.policy = current;
+
+    for (std::size_t minute = 0; minute < minutes; ++minute) {
+        const double t = static_cast<double>(minute) * secondsPerMinute;
+
+        if (minute % epoch_len == 0) {
+            farm.advanceTo(t);
+
+            if (minute > 0) {
+                epoch.stats = farm.harvestWindow();
+                last_epoch_within_budget =
+                    epoch.stats.completions > 0 &&
+                    _qos.satisfiedBy(epoch.stats);
+                result.epochs.push_back(epoch);
+            }
+
+            epoch = EpochReport{};
+            epoch.index = result.epochs.size();
+            epoch.startTime = t;
+
+            const double predicted =
+                std::clamp(predictor.predict(minute), 0.0, 1.0);
+            epoch.predictedUtilization = predicted;
+
+            if (_config.perServer.fixedPolicy) {
+                current = *_config.perServer.fixedPolicy;
+                epoch.decided = true;
+                epoch.feasible = true;
+            } else if (history.size() >= 2) {
+                // Rescale the thinned log to the predicted per-server
+                // load (same construction as the single-server runtime).
+                const double span =
+                    history.back().arrival - history.front().arrival;
+                double demand = 0.0;
+                for (std::size_t i = 1; i < history.size(); ++i)
+                    demand += history[i].size;
+                if (span > 0.0 && demand > 0.0) {
+                    const double measured = demand / span;
+                    const double target =
+                        std::clamp(predicted, 0.01, 0.99);
+                    const double gap_scale = measured / target;
+                    std::vector<Job> log;
+                    log.reserve(history.size());
+                    double clock = span /
+                                   static_cast<double>(history.size()) *
+                                   gap_scale;
+                    log.push_back({clock, history.front().size});
+                    for (std::size_t i = 1; i < history.size(); ++i) {
+                        clock += (history[i].arrival -
+                                  history[i - 1].arrival) *
+                                 gap_scale;
+                        log.push_back({clock, history[i].size});
+                    }
+                    const PolicyDecision decision =
+                        manager.selectFromLog(log);
+                    current = decision.policy;
+                    epoch.feasible = decision.feasible;
+                    epoch.decided = true;
+                    if (_config.perServer.overProvision > 0.0 &&
+                        last_epoch_within_budget) {
+                        const double boosted = std::min(
+                            1.0,
+                            current.frequency *
+                                (1.0 +
+                                 _config.perServer.overProvision));
+                        if (boosted > current.frequency) {
+                            current.frequency = boosted;
+                            epoch.boosted = true;
+                        }
+                    }
+                }
+                // Bound the rolling log.
+                if (history.size() > _config.perServer.evalLogCap) {
+                    history.erase(
+                        history.begin(),
+                        history.end() -
+                            static_cast<std::ptrdiff_t>(
+                                _config.perServer.evalLogCap));
+                }
+            }
+
+            epoch.policy = current;
+            farm.setPolicy(current, t);
+        }
+
+        const double minute_end = t + secondsPerMinute;
+        double minute_demand = 0.0;
+        while (next_job < jobs.size() &&
+               jobs[next_job].arrival < minute_end) {
+            farm.offerJob(jobs[next_job]);
+            minute_demand += jobs[next_job].size;
+            // Thin the aggregate stream down to one server's share so
+            // the policy manager characterizes a single back-end.
+            if (thin_counter++ % _config.farmSize == 0)
+                history.push_back(jobs[next_job]);
+            ++next_job;
+        }
+        farm.advanceTo(minute_end);
+
+        const double observed = std::clamp(
+            minute_demand / (secondsPerMinute * farm_size), 0.0, 1.0);
+        predictor.observe(minute, observed);
+    }
+
+    const double horizon =
+        std::max(trace.duration(), farm.nextFreeTime());
+    farm.advanceTo(horizon);
+    epoch.stats = farm.harvestWindow();
+    result.epochs.push_back(epoch);
+
+    for (const EpochReport &report : result.epochs)
+        result.total.merge(report.stats);
+    result.jobsPerServer = farm.jobsPerServer();
+    return result;
+}
+
+} // namespace sleepscale

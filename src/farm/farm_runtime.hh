@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Epoch-driven SleepScale control for a server farm (paper Section 7).
+ *
+ * The paper conjectures that SleepScale scales out by running on each
+ * server independently. With a symmetric dispatcher the per-server
+ * arrival processes are statistically identical, so this runtime makes
+ * one decision per epoch from a *thinned* aggregate job log (keeping
+ * every farm-size-th event reproduces a single server's view under
+ * random splitting) and applies it farm-wide — equivalent to N
+ * independent SleepScale instances in the symmetric case while running
+ * the queueing characterization once.
+ */
+
+#ifndef SLEEPSCALE_FARM_FARM_RUNTIME_HH
+#define SLEEPSCALE_FARM_FARM_RUNTIME_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hh"
+#include "farm/server_farm.hh"
+#include "workload/utilization_trace.hh"
+
+namespace sleepscale {
+
+/** Farm-level runtime configuration. */
+struct FarmRuntimeConfig
+{
+    /** Number of back-end servers. */
+    std::size_t farmSize = 4;
+
+    /** Dispatcher name: "random", "round-robin", "JSQ", "packing". */
+    std::string dispatcher = "random";
+
+    /** Spill threshold for the packing dispatcher, seconds. */
+    double packingSpillBacklog = 1.0;
+
+    /** Seed for stochastic dispatchers. */
+    std::uint64_t dispatchSeed = 1;
+
+    /** Per-server policy-management knobs (epoch length, α, ρ_b, QoS
+     * metric, candidate space, log caps). */
+    RuntimeConfig perServer;
+};
+
+/** Aggregate outcome of a farm run. */
+struct FarmRuntimeResult
+{
+    /** Farm-wide merged statistics (watts are farm watts). */
+    SimStats total;
+
+    /** Epoch reports (policy decisions are farm-wide). */
+    std::vector<EpochReport> epochs;
+
+    /** Jobs routed to each server. */
+    std::vector<std::uint64_t> jobsPerServer;
+
+    QosConstraint qos = QosConstraint::meanBudget(1.0);
+
+    /** Whole-run mean response, seconds. */
+    double meanResponse() const { return total.meanResponse(); }
+
+    /** Whole-run farm power, watts. */
+    double avgPower() const { return total.avgPower(); }
+
+    /** Whether the pooled response statistic met the budget. */
+    bool withinBudget() const { return qos.satisfiedBy(total); }
+};
+
+/** Runs SleepScale over a dispatched farm. */
+class FarmRuntime
+{
+  public:
+    /**
+     * @param platform Power model shared by the servers (not owned).
+     * @param spec Workload characterization.
+     * @param config Farm and per-server knobs.
+     */
+    FarmRuntime(const PlatformModel &platform, const WorkloadSpec &spec,
+                FarmRuntimeConfig config);
+
+    /**
+     * Run a trace-driven job stream through the farm.
+     *
+     * @param jobs Aggregate arrivals; the trace's utilization is the
+     *             *per-server* offered load (total demand divided by
+     *             the farm size).
+     * @param trace Per-minute per-server utilization targets.
+     * @param predictor Observes per-server offered load each minute.
+     */
+    FarmRuntimeResult run(const std::vector<Job> &jobs,
+                          const UtilizationTrace &trace,
+                          UtilizationPredictor &predictor) const;
+
+    /** The QoS constraint derived from the configuration. */
+    const QosConstraint &qos() const { return _qos; }
+
+  private:
+    const PlatformModel &_platform;
+    WorkloadSpec _spec;
+    FarmRuntimeConfig _config;
+    QosConstraint _qos;
+};
+
+/**
+ * Generate an aggregate trace-driven job stream for a farm: the trace
+ * is the per-server load, so the farm sees farm-size times the arrival
+ * rate with the same service distribution.
+ */
+std::vector<Job> generateFarmJobs(Rng &rng, const WorkloadSpec &spec,
+                                  const UtilizationTrace &trace,
+                                  std::size_t farm_size);
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_FARM_FARM_RUNTIME_HH

@@ -1,0 +1,131 @@
+#include "farm/server_farm.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+ServerFarm::ServerFarm(const PlatformModel &platform,
+                       ServiceScaling scaling, const Policy &initial,
+                       std::size_t size,
+                       std::unique_ptr<Dispatcher> dispatcher)
+    : _dispatcher(std::move(dispatcher))
+{
+    fatalIf(size == 0, "ServerFarm: need at least one server");
+    fatalIf(!_dispatcher, "ServerFarm: dispatcher must not be null");
+    _servers.reserve(size);
+    for (std::size_t i = 0; i < size; ++i)
+        _servers.emplace_back(platform, scaling, initial);
+    _jobsRouted.assign(size, 0);
+}
+
+std::vector<ServerSnapshot>
+ServerFarm::snapshots(double now) const
+{
+    std::vector<ServerSnapshot> view(_servers.size());
+    for (std::size_t i = 0; i < _servers.size(); ++i) {
+        view[i].backlog = _servers[i].backlog(now);
+        view[i].idle = _servers[i].idleAt(now);
+    }
+    return view;
+}
+
+std::size_t
+ServerFarm::offerJob(const Job &job)
+{
+    fatalIf(job.arrival < _lastArrival,
+            "ServerFarm::offerJob: arrivals must be non-decreasing");
+    _lastArrival = job.arrival;
+
+    const std::size_t pick =
+        _dispatcher->route(job, snapshots(job.arrival));
+    fatalIf(pick >= _servers.size(),
+            "ServerFarm: dispatcher chose a server out of range");
+    _servers[pick].offerJob(job);
+    ++_jobsRouted[pick];
+    return pick;
+}
+
+void
+ServerFarm::advanceTo(double t)
+{
+    for (ServerSim &server : _servers)
+        server.advanceTo(t);
+}
+
+void
+ServerFarm::setPolicy(const Policy &policy, double t)
+{
+    for (ServerSim &server : _servers)
+        server.setPolicy(policy, t);
+}
+
+void
+ServerFarm::setPolicy(std::size_t server, const Policy &policy, double t)
+{
+    fatalIf(server >= _servers.size(),
+            "ServerFarm::setPolicy: server index out of range");
+    _servers[server].setPolicy(policy, t);
+}
+
+const Policy &
+ServerFarm::policy(std::size_t server) const
+{
+    fatalIf(server >= _servers.size(),
+            "ServerFarm::policy: server index out of range");
+    return _servers[server].policy();
+}
+
+SimStats
+ServerFarm::harvestWindow()
+{
+    SimStats merged = _servers.front().harvestWindow();
+    for (std::size_t i = 1; i < _servers.size(); ++i) {
+        const SimStats window = _servers[i].harvestWindow();
+        // Servers share the wall clock: add energies/residencies and
+        // pool responses without extending the window span.
+        merged.energy += window.energy;
+        merged.busyTime += window.busyTime;
+        merged.wakeTime += window.wakeTime;
+        for (std::size_t s = 0; s < merged.idleResidency.size(); ++s) {
+            merged.idleResidency[s] += window.idleResidency[s];
+            merged.wakeups[s] += window.wakeups[s];
+        }
+        merged.arrivals += window.arrivals;
+        merged.completions += window.completions;
+        merged.response.merge(window.response);
+        merged.responseHistogram.merge(window.responseHistogram);
+        merged.windowStart = std::min(merged.windowStart,
+                                      window.windowStart);
+        merged.windowEnd = std::max(merged.windowEnd, window.windowEnd);
+    }
+    return merged;
+}
+
+SimStats
+ServerFarm::harvestWindow(std::size_t server)
+{
+    fatalIf(server >= _servers.size(),
+            "ServerFarm::harvestWindow: server index out of range");
+    return _servers[server].harvestWindow();
+}
+
+double
+ServerFarm::backlog(std::size_t server, double t) const
+{
+    fatalIf(server >= _servers.size(),
+            "ServerFarm::backlog: server index out of range");
+    return _servers[server].backlog(t);
+}
+
+double
+ServerFarm::nextFreeTime() const
+{
+    double latest = 0.0;
+    for (const ServerSim &server : _servers)
+        latest = std::max(latest, server.nextFreeTime());
+    return latest;
+}
+
+} // namespace sleepscale

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A farm of SleepScale servers behind a dispatcher (paper Section 7).
+ *
+ * Each back-end is a full ServerSim — same power model, sleep descents,
+ * and accounting as the single-server experiments — so farm-level
+ * results compose from validated parts. The farm exposes the same
+ * offer/advance/harvest interface as a single server, with aggregate
+ * and per-server statistics.
+ */
+
+#ifndef SLEEPSCALE_FARM_SERVER_FARM_HH
+#define SLEEPSCALE_FARM_SERVER_FARM_HH
+
+#include <memory>
+#include <vector>
+
+#include "farm/dispatcher.hh"
+#include "power/platform_model.hh"
+#include "sim/server_sim.hh"
+
+namespace sleepscale {
+
+/** Fixed-size homogeneous server farm. */
+class ServerFarm
+{
+  public:
+    /**
+     * @param platform Power model shared by all servers (not owned).
+     * @param scaling Service-time scaling law.
+     * @param initial Policy every server starts with.
+     * @param size Number of servers (>= 1).
+     * @param dispatcher Routing strategy (owned).
+     */
+    ServerFarm(const PlatformModel &platform, ServiceScaling scaling,
+               const Policy &initial, std::size_t size,
+               std::unique_ptr<Dispatcher> dispatcher);
+
+    /** Number of servers. */
+    std::size_t size() const { return _servers.size(); }
+
+    /**
+     * Route and admit one arrival (non-decreasing arrival times).
+     *
+     * @return Index of the server that received the job.
+     */
+    std::size_t offerJob(const Job &job);
+
+    /** Integrate all servers' accounting up to time t. */
+    void advanceTo(double t);
+
+    /** Switch every server to a policy at time t. */
+    void setPolicy(const Policy &policy, double t);
+
+    /** Switch one server's policy at time t. */
+    void setPolicy(std::size_t server, const Policy &policy, double t);
+
+    /** Policy currently in force on a server. */
+    const Policy &policy(std::size_t server) const;
+
+    /**
+     * Harvest and merge every server's window. Energy and residencies
+     * add across servers; response statistics pool all completions. The
+     * elapsed window is one server's wall-clock span (not multiplied by
+     * the farm size), so avgPower() reports farm watts.
+     */
+    SimStats harvestWindow();
+
+    /** Harvest one server's window. */
+    SimStats harvestWindow(std::size_t server);
+
+    /** Jobs routed to each server so far. */
+    const std::vector<std::uint64_t> &jobsPerServer() const
+    {
+        return _jobsRouted;
+    }
+
+    /** Committed backlog of one server at time t. */
+    double backlog(std::size_t server, double t) const;
+
+    /** Latest time across servers with committed work. */
+    double nextFreeTime() const;
+
+  private:
+    std::vector<ServerSim> _servers;
+    std::unique_ptr<Dispatcher> _dispatcher;
+    std::vector<std::uint64_t> _jobsRouted;
+    double _lastArrival = 0.0;
+
+    std::vector<ServerSnapshot> snapshots(double now) const;
+};
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_FARM_SERVER_FARM_HH

@@ -1,0 +1,50 @@
+#include "power/component_table.hh"
+
+namespace sleepscale {
+
+const std::vector<ComponentPower> &
+xeonComponentTable()
+{
+    // Table 2 of the paper: {name, S0(a) W, S0(i) W, S3 W}. The Idle,
+    // Sleep, and Deep-sleep columns of the paper are identical for the
+    // platform components (all are S0(i)), so a single idle figure is
+    // stored.
+    static const std::vector<ComponentPower> table = {
+        {"Chipset x1", 7.8, 7.8, 7.8},
+        {"RAM x6", 23.1, 10.4, 3.0},
+        {"HDD x1", 6.2, 4.6, 0.8},
+        {"NIC x1", 2.9, 1.7, 0.5},
+        {"Fan x1", 10.0, 1.0, 0.0},
+        {"PSU x1", 70.0, 35.0, 1.0},
+    };
+    return table;
+}
+
+double
+componentTotalOperating(const std::vector<ComponentPower> &table)
+{
+    double total = 0.0;
+    for (const auto &component : table)
+        total += component.operating;
+    return total;
+}
+
+double
+componentTotalIdle(const std::vector<ComponentPower> &table)
+{
+    double total = 0.0;
+    for (const auto &component : table)
+        total += component.idle;
+    return total;
+}
+
+double
+componentTotalDeeperSleep(const std::vector<ComponentPower> &table)
+{
+    double total = 0.0;
+    for (const auto &component : table)
+        total += component.deeperSleep;
+    return total;
+}
+
+} // namespace sleepscale

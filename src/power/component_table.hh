@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Per-component power breakdown (paper Table 2).
+ *
+ * The platform totals used by PlatformModel are sums over the component
+ * inventory below. The breakdown is kept so the Table 2 bench can print
+ * the paper's table and tests can check that the totals are consistent
+ * with the PlatformPowerParams preset.
+ */
+
+#ifndef SLEEPSCALE_POWER_COMPONENT_TABLE_HH
+#define SLEEPSCALE_POWER_COMPONENT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace sleepscale {
+
+/**
+ * One platform component row of Table 2 (excluding the CPU, whose power
+ * is a function of frequency and is handled by PlatformModel).
+ */
+struct ComponentPower
+{
+    std::string name;  ///< Component name, e.g. "RAM x6".
+    double operating;  ///< W while the platform is in S0(a).
+    double idle;       ///< W while in S0(i) (columns Idle/Sleep/DeepSleep).
+    double deeperSleep;///< W while in S3.
+};
+
+/** The paper's Xeon-platform component inventory. */
+const std::vector<ComponentPower> &xeonComponentTable();
+
+/** Sum of the operating column (must equal PlatformPowerParams::s0Active). */
+double componentTotalOperating(const std::vector<ComponentPower> &table);
+
+/** Sum of the idle column (must equal PlatformPowerParams::s0Idle). */
+double componentTotalIdle(const std::vector<ComponentPower> &table);
+
+/** Sum of the deeper-sleep column (must equal PlatformPowerParams::s3). */
+double componentTotalDeeperSleep(const std::vector<ComponentPower> &table);
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_POWER_COMPONENT_TABLE_HH

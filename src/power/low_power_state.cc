@@ -1,0 +1,41 @@
+#include "power/low_power_state.hh"
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+std::string
+toString(LowPowerState state)
+{
+    switch (state) {
+      case LowPowerState::C0IdleS0Idle:
+        return "C0(i)S0(i)";
+      case LowPowerState::C1S0Idle:
+        return "C1S0(i)";
+      case LowPowerState::C3S0Idle:
+        return "C3S0(i)";
+      case LowPowerState::C6S0Idle:
+        return "C6S0(i)";
+      case LowPowerState::C6S3:
+        return "C6S3";
+    }
+    panic("toString: unknown LowPowerState");
+}
+
+LowPowerState
+lowPowerStateFromString(const std::string &name)
+{
+    for (LowPowerState state : allLowPowerStates) {
+        if (toString(state) == name)
+            return state;
+    }
+    fatal("lowPowerStateFromString: unknown state name '" + name + "'");
+}
+
+std::size_t
+depthIndex(LowPowerState state)
+{
+    return static_cast<std::size_t>(state);
+}
+
+} // namespace sleepscale

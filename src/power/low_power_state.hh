@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Combined CPU/platform low-power states (paper Tables 1 and 3).
+ *
+ * The paper names states by concatenating the CPU C-state and platform
+ * S-state, e.g. C0(i)S0(i). Only the combinations permitted by Table 3
+ * exist: S0(a) pairs with C0(a) only, S3 pairs with C6 only, and S0(i)
+ * pairs with every other C-state. The active state C0(a)S0(a) is not a
+ * low-power state and is represented separately by the simulator.
+ */
+
+#ifndef SLEEPSCALE_POWER_LOW_POWER_STATE_HH
+#define SLEEPSCALE_POWER_LOW_POWER_STATE_HH
+
+#include <array>
+#include <string>
+
+namespace sleepscale {
+
+/**
+ * The five combined low-power states studied in the paper, ordered from
+ * shallowest (largest power, smallest wake-up latency) to deepest.
+ */
+enum class LowPowerState
+{
+    C0IdleS0Idle, ///< Operating idle: clock runs at the DVFS setting.
+    C1S0Idle,     ///< Halt: clock stopped, leakage only.
+    C3S0Idle,     ///< Sleep: caches flushed, architectural state kept.
+    C6S0Idle,     ///< Deep sleep: state saved to RAM, CPU voltage zero.
+    C6S3,         ///< Deep sleep with the platform suspended to RAM.
+};
+
+/** Number of distinct low-power states. */
+inline constexpr std::size_t numLowPowerStates = 5;
+
+/** All low-power states, shallowest first. */
+inline constexpr std::array<LowPowerState, numLowPowerStates>
+allLowPowerStates = {
+    LowPowerState::C0IdleS0Idle,
+    LowPowerState::C1S0Idle,
+    LowPowerState::C3S0Idle,
+    LowPowerState::C6S0Idle,
+    LowPowerState::C6S3,
+};
+
+/** Paper-style name, e.g. "C0(i)S0(i)". */
+std::string toString(LowPowerState state);
+
+/** Parse a paper-style name; fatal() on unknown names. */
+LowPowerState lowPowerStateFromString(const std::string &name);
+
+/** Zero-based depth index (C0(i)S0(i) = 0 ... C6S3 = 4). */
+std::size_t depthIndex(LowPowerState state);
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_POWER_LOW_POWER_STATE_HH

@@ -1,0 +1,23 @@
+#include "sim/policy.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace sleepscale {
+
+std::string
+Policy::toString() const
+{
+    std::ostringstream out;
+    out << "f=" << std::fixed << std::setprecision(2) << frequency << ' '
+        << plan.toString();
+    return out.str();
+}
+
+Policy
+raceToHalt(LowPowerState state)
+{
+    return {1.0, SleepPlan::immediate(state)};
+}
+
+} // namespace sleepscale

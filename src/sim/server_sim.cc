@@ -1,0 +1,163 @@
+#include "sim/server_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+ServerSim::ServerSim(const PlatformModel &platform, ServiceScaling scaling,
+                     const Policy &initial)
+    : _platform(platform), _scaling(scaling), _policy(initial),
+      _plan(initial.plan, platform, initial.frequency),
+      _activePower(platform.activePower(initial.frequency))
+{
+}
+
+void
+ServerSim::integrateBusy(double from, double to)
+{
+    const double dt = to - from;
+    if (dt <= 0.0)
+        return;
+    _window.energy += _activePower * dt;
+    _window.busyTime += dt;
+}
+
+void
+ServerSim::integrateIdle(double from, double to)
+{
+    if (to <= from)
+        return;
+    // Both bounds are measured from the idle start (_nextFree).
+    double elapsed = from - _nextFree;
+    const double end = to - _nextFree;
+    std::size_t stage = _plan.stageAt(elapsed);
+    while (elapsed < end) {
+        double stage_end = end;
+        if (stage + 1 < _plan.size()) {
+            stage_end = std::min(end, _plan.enterAfter(stage + 1));
+        }
+        const double dt = stage_end - elapsed;
+        _window.energy += _plan.power(stage) * dt;
+        _window.idleResidency[depthIndex(_plan.state(stage))] += dt;
+        elapsed = stage_end;
+        if (stage + 1 < _plan.size() &&
+            elapsed >= _plan.enterAfter(stage + 1)) {
+            ++stage;
+        }
+    }
+}
+
+void
+ServerSim::flushDepartures(double t)
+{
+    while (!_pending.empty() && _pending.front().first <= t) {
+        const double response = _pending.front().second;
+        _pending.pop_front();
+        _window.response.add(response);
+        _window.responseHistogram.add(response);
+        ++_window.completions;
+    }
+}
+
+void
+ServerSim::advanceTo(double t)
+{
+    // Tolerate tiny float regressions from repeated boundary math.
+    if (t <= _accountedUntil)
+        return;
+
+    if (_accountedUntil < _nextFree) {
+        const double busy_end = std::min(t, _nextFree);
+        integrateBusy(_accountedUntil, busy_end);
+        _accountedUntil = busy_end;
+    }
+    if (t > _accountedUntil) {
+        integrateIdle(std::max(_accountedUntil, _nextFree), t);
+        _accountedUntil = t;
+    }
+    flushDepartures(t);
+}
+
+void
+ServerSim::offerJob(const Job &job)
+{
+    fatalIf(job.arrival < _accountedUntil,
+            "ServerSim::offerJob: arrivals must be offered in order and "
+            "not before already-accounted time");
+    fatalIf(job.size < 0.0, "ServerSim::offerJob: negative job size");
+
+    advanceTo(job.arrival);
+    ++_window.arrivals;
+
+    double service_start;
+    if (job.arrival >= _nextFree) {
+        // Idle: the arrival interrupts the descent and triggers wake-up.
+        const double elapsed = job.arrival - _nextFree;
+        const std::size_t stage = _plan.stageAt(elapsed);
+        const double wake = _plan.wakeLatency(stage);
+        ++_window.wakeups[depthIndex(_plan.state(stage))];
+        _window.wakeTime += wake;
+        service_start = job.arrival + wake;
+    } else {
+        // Busy: FCFS queueing behind committed work.
+        service_start = _nextFree;
+    }
+
+    const double service =
+        job.size * _scaling.factor(_policy.frequency);
+    const double depart = service_start + service;
+    _pending.emplace_back(depart, depart - job.arrival);
+    _nextFree = depart;
+}
+
+void
+ServerSim::setPolicy(const Policy &policy, double t)
+{
+    fatalIf(policy.frequency <= 0.0 || policy.frequency > 1.0,
+            "ServerSim::setPolicy: frequency must be in (0, 1]");
+    advanceTo(t);
+    _policy = policy;
+    _plan = MaterializedPlan(policy.plan, _platform, policy.frequency);
+    _activePower = _platform.activePower(policy.frequency);
+}
+
+SimStats
+ServerSim::harvestWindow()
+{
+    SimStats harvested = _window;
+    harvested.windowEnd = _accountedUntil;
+
+    SimStats fresh;
+    fresh.windowStart = _accountedUntil;
+    fresh.windowEnd = _accountedUntil;
+    _window = fresh;
+    return harvested;
+}
+
+double
+ServerSim::backlog(double t) const
+{
+    return std::max(0.0, _nextFree - t);
+}
+
+PolicyEvaluation
+evaluatePolicy(const PlatformModel &platform, ServiceScaling scaling,
+               const Policy &policy, const std::vector<Job> &jobs)
+{
+    fatalIf(jobs.empty(), "evaluatePolicy: need at least one job");
+
+    ServerSim sim(platform, scaling, policy);
+    for (const Job &job : jobs)
+        sim.offerJob(job);
+    // Close the books at the final departure, matching Algorithm 1's
+    // power = energy over exactly the active plus idle periods.
+    sim.advanceTo(sim.nextFreeTime());
+
+    PolicyEvaluation evaluation{policy, sim.harvestWindow()};
+    return evaluation;
+}
+
+} // namespace sleepscale

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The FCFS single-server simulation core (paper Algorithm 1, generalized).
+ *
+ * ServerSim implements the paper's operation model exactly: FCFS service,
+ * DVFS-scaled service times, arrival-triggered wake-up with the latency of
+ * whatever low-power stage the descent had reached, and wake-up energy
+ * charged at active power. Instead of a general event calendar it exploits
+ * the FCFS structure: the entire server state is the time the queue next
+ * empties, so each arrival is processed in O(plan stages) and energy is
+ * integrated piecewise-analytically between events. That makes candidate-
+ * policy evaluation cheap enough to run hundreds of times per epoch, which
+ * is the premise of SleepScale's runtime policy manager.
+ *
+ * Beyond the paper's one-shot evaluator, ServerSim supports continuous
+ * operation: windowed statistics harvesting (for per-epoch reporting) and
+ * mid-run policy switches with queue backlog carried across the switch
+ * (needed by the runtime, where a mispredicted epoch leaves a backlog that
+ * must propagate into the next one).
+ */
+
+#ifndef SLEEPSCALE_SIM_SERVER_SIM_HH
+#define SLEEPSCALE_SIM_SERVER_SIM_HH
+
+#include <deque>
+#include <vector>
+
+#include "power/platform_model.hh"
+#include "sim/policy.hh"
+#include "sim/sim_stats.hh"
+#include "sim/sleep_plan.hh"
+#include "workload/job.hh"
+#include "workload/workload_spec.hh"
+
+namespace sleepscale {
+
+/** Continuous FCFS single-server simulator with DVFS and sleep states. */
+class ServerSim
+{
+  public:
+    /**
+     * @param platform Power model (not owned; must outlive the sim).
+     * @param scaling Service-time dependence on frequency.
+     * @param initial Policy in force from t = 0.
+     *
+     * The simulation starts at t = 0 with an empty queue; the server
+     * begins its sleep descent immediately, mirroring Algorithm 1 where
+     * the "departure of job 0" is time 0.
+     */
+    ServerSim(const PlatformModel &platform, ServiceScaling scaling,
+              const Policy &initial);
+
+    /**
+     * Offer the next arrival. Arrivals must be fed in non-decreasing
+     * time order, and never earlier than a time already passed to
+     * advanceTo().
+     */
+    void offerJob(const Job &job);
+
+    /**
+     * Integrate power and flush departures up to time t (t must be >=
+     * any previously accounted time). Call at window boundaries before
+     * harvesting or switching policies.
+     */
+    void advanceTo(double t);
+
+    /**
+     * Switch the operating policy at time t.
+     *
+     * The new frequency applies to jobs that *start service* after the
+     * switch; jobs already admitted keep their committed service times
+     * (busy power from t onward uses the new frequency). If the server
+     * is idle, the descent clock is preserved and the occupied stage is
+     * re-derived under the new plan.
+     */
+    void setPolicy(const Policy &policy, double t);
+
+    /** Policy currently in force. */
+    const Policy &policy() const { return _policy; }
+
+    /**
+     * Return the statistics accumulated since the last harvest (or since
+     * construction) and start a new window at the current accounted time.
+     * Response times are attributed to the window containing the job's
+     * departure.
+     */
+    SimStats harvestWindow();
+
+    /** Statistics of the in-progress window (const view). */
+    const SimStats &currentWindow() const { return _window; }
+
+    /** Time up to which power has been integrated. */
+    double accountedTime() const { return _accountedUntil; }
+
+    /** Time at which the server's queue next empties. */
+    double nextFreeTime() const { return _nextFree; }
+
+    /** Whether the server will be idle at time t absent new arrivals. */
+    bool idleAt(double t) const { return t >= _nextFree; }
+
+    /** Seconds of committed work left at time t (0 when idle). */
+    double backlog(double t) const;
+
+    /** Number of departures not yet attributed to a window. */
+    std::size_t pendingDepartures() const { return _pending.size(); }
+
+  private:
+    const PlatformModel &_platform;
+    ServiceScaling _scaling;
+    Policy _policy;
+    MaterializedPlan _plan;
+    double _activePower; ///< Cached activePower(policy.frequency).
+
+    double _accountedUntil = 0.0; ///< Energy integrated up to here.
+    double _nextFree = 0.0;       ///< Queue-empties time; idle start.
+
+    /** Departures (time, response) awaiting window attribution (FCFS
+     * keeps this ordered by departure time). */
+    std::deque<std::pair<double, double>> _pending;
+
+    SimStats _window;
+
+    void integrateBusy(double from, double to);
+    void integrateIdle(double from, double to);
+    void flushDepartures(double t);
+};
+
+/**
+ * Result of evaluating one candidate policy over a job list
+ * (the paper's Algorithm 1 driver).
+ */
+struct PolicyEvaluation
+{
+    Policy policy;
+    SimStats stats;
+
+    /** Mean response time, seconds. */
+    double meanResponse() const { return stats.meanResponse(); }
+
+    /** 95th-percentile response time, seconds. */
+    double p95Response() const { return stats.responsePercentile(95.0); }
+
+    /** Average power, watts. */
+    double avgPower() const { return stats.avgPower(); }
+};
+
+/**
+ * Evaluate a policy over a finite job sequence.
+ *
+ * Runs a fresh simulation from an idle server at t = 0 through the last
+ * departure, exactly the paper's Section 4.1 methodology.
+ *
+ * @param platform Power model.
+ * @param scaling Service-time scaling law.
+ * @param policy Candidate (frequency, plan) pair.
+ * @param jobs Arrival-ordered jobs.
+ */
+PolicyEvaluation evaluatePolicy(const PlatformModel &platform,
+                                ServiceScaling scaling, const Policy &policy,
+                                const std::vector<Job> &jobs);
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_SIM_SERVER_SIM_HH

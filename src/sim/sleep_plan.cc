@@ -1,0 +1,97 @@
+#include "sim/sleep_plan.hh"
+
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+SleepPlan::SleepPlan(std::vector<SleepStage> stages)
+    : _stages(std::move(stages))
+{
+    fatalIf(_stages.empty(), "SleepPlan: need at least one stage");
+    fatalIf(_stages.front().enterAfter != 0.0,
+            "SleepPlan: the first stage must be entered immediately "
+            "(enterAfter = 0); use a C0(i)S0(i) first stage to model a "
+            "delayed descent");
+    for (std::size_t i = 1; i < _stages.size(); ++i) {
+        fatalIf(_stages[i].enterAfter <= _stages[i - 1].enterAfter,
+                "SleepPlan: entry delays must strictly increase");
+        fatalIf(depthIndex(_stages[i].state) <=
+                    depthIndex(_stages[i - 1].state),
+                "SleepPlan: states must strictly deepen along the plan");
+    }
+}
+
+SleepPlan
+SleepPlan::immediate(LowPowerState state)
+{
+    return SleepPlan({{state, 0.0}});
+}
+
+SleepPlan
+SleepPlan::delayed(LowPowerState state, double delay)
+{
+    fatalIf(delay <= 0.0, "SleepPlan::delayed: delay must be positive");
+    fatalIf(state == LowPowerState::C0IdleS0Idle,
+            "SleepPlan::delayed: the delayed state must be deeper than "
+            "C0(i)S0(i)");
+    return SleepPlan({{LowPowerState::C0IdleS0Idle, 0.0}, {state, delay}});
+}
+
+SleepPlan
+SleepPlan::throttleBack(const std::vector<double> &delays)
+{
+    fatalIf(delays.size() != numLowPowerStates - 1,
+            "SleepPlan::throttleBack: need one delay per state after "
+            "C0(i)S0(i)");
+    std::vector<SleepStage> stages;
+    stages.push_back({LowPowerState::C0IdleS0Idle, 0.0});
+    for (std::size_t i = 0; i < delays.size(); ++i)
+        stages.push_back({allLowPowerStates[i + 1], delays[i]});
+    return SleepPlan(std::move(stages));
+}
+
+std::string
+SleepPlan::toString() const
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < _stages.size(); ++i) {
+        if (i)
+            out << "->";
+        out << sleepscale::toString(_stages[i].state);
+        if (_stages[i].enterAfter > 0.0)
+            out << "@" << _stages[i].enterAfter;
+    }
+    return out.str();
+}
+
+MaterializedPlan::MaterializedPlan(const SleepPlan &plan,
+                                   const PlatformModel &platform, double f)
+{
+    const auto &stages = plan.stages();
+    _power.reserve(stages.size());
+    _enterAfter.reserve(stages.size());
+    _wake.reserve(stages.size());
+    _state.reserve(stages.size());
+    for (const SleepStage &stage : stages) {
+        _power.push_back(platform.lowPower(stage.state, f));
+        _enterAfter.push_back(stage.enterAfter);
+        _wake.push_back(platform.wakeLatency(stage.state));
+        _state.push_back(stage.state);
+    }
+}
+
+std::size_t
+MaterializedPlan::stageAt(double elapsed) const
+{
+    fatalIf(elapsed < 0.0, "MaterializedPlan::stageAt: negative idle time");
+    std::size_t stage = 0;
+    while (stage + 1 < _enterAfter.size() &&
+           elapsed >= _enterAfter[stage + 1]) {
+        ++stage;
+    }
+    return stage;
+}
+
+} // namespace sleepscale

@@ -1,0 +1,79 @@
+#include "util/cli_args.hh"
+
+#include <cstdlib>
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+CliArgs::CliArgs(int argc, const char *const *argv,
+                 const std::set<std::string> &known)
+{
+    int i = 1;
+    if (i < argc && argv[i][0] != '-') {
+        _command = argv[i];
+        ++i;
+    }
+    for (; i < argc; ++i) {
+        const std::string word = argv[i];
+        fatalIf(word.rfind("--", 0) != 0,
+                "CliArgs: expected --option, got '" + word + "'");
+        const std::string key = word.substr(2);
+        fatalIf(known.find(key) == known.end(),
+                "CliArgs: unknown option '--" + key + "'");
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            _values[key] = argv[i + 1];
+            ++i;
+        } else {
+            _values[key] = "true"; // bare flag
+        }
+    }
+}
+
+bool
+CliArgs::has(const std::string &key) const
+{
+    return _values.find(key) != _values.end();
+}
+
+std::string
+CliArgs::get(const std::string &key, const std::string &fallback) const
+{
+    const auto it = _values.find(key);
+    return it == _values.end() ? fallback : it->second;
+}
+
+double
+CliArgs::getDouble(const std::string &key, double fallback) const
+{
+    const auto it = _values.find(key);
+    if (it == _values.end())
+        return fallback;
+    try {
+        return std::stod(it->second);
+    } catch (const std::exception &) {
+        fatal("CliArgs: option '--" + key + "' expects a number, got '" +
+              it->second + "'");
+    }
+}
+
+unsigned long
+CliArgs::getUnsigned(const std::string &key, unsigned long fallback) const
+{
+    const auto it = _values.find(key);
+    if (it == _values.end())
+        return fallback;
+    try {
+        const long value = std::stol(it->second);
+        fatalIf(value < 0, "CliArgs: option '--" + key +
+                               "' expects a non-negative integer");
+        return static_cast<unsigned long>(value);
+    } catch (const ConfigError &) {
+        throw;
+    } catch (const std::exception &) {
+        fatal("CliArgs: option '--" + key +
+              "' expects an integer, got '" + it->second + "'");
+    }
+}
+
+} // namespace sleepscale

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal command-line argument parsing for the sleepscale tool.
+ *
+ * Supports `--key value` and `--flag` options after an optional
+ * subcommand word. Unknown keys are rejected against a declared option
+ * set so typos fail loudly instead of silently using defaults.
+ */
+
+#ifndef SLEEPSCALE_UTIL_CLI_ARGS_HH
+#define SLEEPSCALE_UTIL_CLI_ARGS_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sleepscale {
+
+/** Parsed command line: one subcommand plus key/value options. */
+class CliArgs
+{
+  public:
+    /**
+     * Parse argv.
+     *
+     * @param argc Argument count from main().
+     * @param argv Argument vector from main().
+     * @param known Declared option names (without the leading "--");
+     *              anything else is a fatal() error.
+     */
+    CliArgs(int argc, const char *const *argv,
+            const std::set<std::string> &known);
+
+    /** The first non-option word ("" when absent). */
+    const std::string &command() const { return _command; }
+
+    /** Whether an option was given. */
+    bool has(const std::string &key) const;
+
+    /** String option with default. */
+    std::string get(const std::string &key,
+                    const std::string &fallback) const;
+
+    /** Double option with default; fatal() on non-numeric values. */
+    double getDouble(const std::string &key, double fallback) const;
+
+    /** Unsigned option with default; fatal() on bad values. */
+    unsigned long getUnsigned(const std::string &key,
+                              unsigned long fallback) const;
+
+  private:
+    std::string _command;
+    std::map<std::string, std::string> _values;
+};
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_UTIL_CLI_ARGS_HH

@@ -1,0 +1,17 @@
+#include "util/error.hh"
+
+namespace sleepscale {
+
+void
+fatal(const std::string &msg)
+{
+    throw ConfigError("sleepscale: fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw InternalError("sleepscale: panic: " + msg);
+}
+
+} // namespace sleepscale

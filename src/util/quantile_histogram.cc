@@ -1,0 +1,107 @@
+#include "util/quantile_histogram.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+QuantileHistogram::QuantileHistogram(double floor, double ceiling,
+                                     unsigned buckets_per_decade)
+    : _floor(floor), _ceiling(ceiling),
+      _logFloor(std::log10(floor)),
+      _bucketsPerDecade(static_cast<double>(buckets_per_decade))
+{
+    fatalIf(floor <= 0.0, "QuantileHistogram: floor must be positive");
+    fatalIf(ceiling <= floor, "QuantileHistogram: ceiling must exceed floor");
+    fatalIf(buckets_per_decade == 0,
+            "QuantileHistogram: need at least one bucket per decade");
+    const double decades = std::log10(ceiling) - _logFloor;
+    const auto grid =
+        static_cast<std::size_t>(std::ceil(decades * _bucketsPerDecade));
+    _buckets.assign(grid + 2, 0); // + underflow and overflow
+}
+
+std::size_t
+QuantileHistogram::indexOf(double x) const
+{
+    if (x < _floor)
+        return 0;
+    if (x >= _ceiling)
+        return _buckets.size() - 1;
+    const double pos = (std::log10(x) - _logFloor) * _bucketsPerDecade;
+    const auto raw = static_cast<std::size_t>(pos);
+    return std::min(raw + 1, _buckets.size() - 2);
+}
+
+double
+QuantileHistogram::upperEdge(std::size_t index) const
+{
+    if (index == 0)
+        return _floor;
+    if (index >= _buckets.size() - 1)
+        return _moments.max();
+    const double exponent =
+        _logFloor + static_cast<double>(index) / _bucketsPerDecade;
+    return std::pow(10.0, exponent);
+}
+
+void
+QuantileHistogram::add(double x)
+{
+    fatalIf(x < 0.0, "QuantileHistogram::add: samples must be >= 0");
+    ++_buckets[indexOf(x)];
+    _moments.add(x);
+}
+
+double
+QuantileHistogram::percentile(double p) const
+{
+    fatalIf(p < 0.0 || p > 100.0,
+            "QuantileHistogram::percentile: p must be in [0, 100]");
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    const double target = p / 100.0 * static_cast<double>(n);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        seen += _buckets[i];
+        if (static_cast<double>(seen) >= target)
+            return upperEdge(i);
+    }
+    return _moments.max();
+}
+
+double
+QuantileHistogram::exceedance(double x) const
+{
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    const std::size_t cut = indexOf(x);
+    std::uint64_t at_least = 0;
+    for (std::size_t i = cut; i < _buckets.size(); ++i)
+        at_least += _buckets[i];
+    return static_cast<double>(at_least) / static_cast<double>(n);
+}
+
+void
+QuantileHistogram::merge(const QuantileHistogram &other)
+{
+    fatalIf(other._buckets.size() != _buckets.size() ||
+                other._floor != _floor || other._ceiling != _ceiling,
+            "QuantileHistogram::merge: incompatible configurations");
+    for (std::size_t i = 0; i < _buckets.size(); ++i)
+        _buckets[i] += other._buckets[i];
+    _moments.merge(other._moments);
+}
+
+void
+QuantileHistogram::reset()
+{
+    for (auto &bucket : _buckets)
+        bucket = 0;
+    _moments.reset();
+}
+
+} // namespace sleepscale

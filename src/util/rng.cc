@@ -1,0 +1,127 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+namespace {
+
+/** splitmix64 step used to expand one seed into the xoshiro state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+    : _spareNormal(0.0)
+{
+    std::uint64_t s = seed;
+    for (auto &word : _state)
+        word = splitmix64(s);
+}
+
+Rng::result_type
+Rng::next()
+{
+    const std::uint64_t result = rotl(_state[0] + _state[3], 23) + _state[0];
+    const std::uint64_t t = _state[1] << 17;
+
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    fatalIf(lo > hi, "Rng::uniform: lo must be <= hi");
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    fatalIf(n == 0, "Rng::uniformInt: n must be positive");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = max() - max() % n;
+    std::uint64_t draw;
+    do {
+        draw = next();
+    } while (draw >= limit);
+    return draw % n;
+}
+
+double
+Rng::exponential(double mean)
+{
+    fatalIf(mean <= 0.0, "Rng::exponential: mean must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal()
+{
+    if (_haveSpare) {
+        _haveSpare = false;
+        return _spareNormal;
+    }
+    double u, v, s;
+    do {
+        u = 2.0 * uniform() - 1.0;
+        v = 2.0 * uniform() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    _spareNormal = v * factor;
+    _haveSpare = true;
+    return u * factor;
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    fatalIf(stddev < 0.0, "Rng::normal: stddev must be non-negative");
+    return mean + stddev * normal();
+}
+
+Rng
+Rng::fork(std::uint64_t stream) const
+{
+    // Mix the parent state with the stream index through splitmix64 so
+    // children neither overlap the parent sequence nor each other.
+    std::uint64_t s = _state[0] ^ (_state[2] + 0x9e3779b97f4a7c15ULL * (stream + 1));
+    return Rng(splitmix64(s));
+}
+
+} // namespace sleepscale

@@ -1,0 +1,51 @@
+#include "util/sample_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+void
+SampleStats::ensureSorted() const
+{
+    if (!_sorted) {
+        std::sort(_samples.begin(), _samples.end());
+        _sorted = true;
+    }
+}
+
+double
+SampleStats::percentile(double p) const
+{
+    fatalIf(p < 0.0 || p > 100.0,
+            "SampleStats::percentile: p must be in [0, 100]");
+    if (_samples.empty())
+        return 0.0;
+    ensureSorted();
+    if (_samples.size() == 1)
+        return _samples.front();
+
+    // Linear interpolation between closest ranks (type-7 estimator, the
+    // default in R and NumPy).
+    const double rank =
+        p / 100.0 * static_cast<double>(_samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = std::min(lo + 1, _samples.size() - 1);
+    const double frac = rank - std::floor(rank);
+    return _samples[lo] + frac * (_samples[hi] - _samples[lo]);
+}
+
+double
+SampleStats::exceedance(double x) const
+{
+    if (_samples.empty())
+        return 0.0;
+    ensureSorted();
+    const auto it = std::lower_bound(_samples.begin(), _samples.end(), x);
+    const auto at_least = static_cast<double>(_samples.end() - it);
+    return at_least / static_cast<double>(_samples.size());
+}
+
+} // namespace sleepscale

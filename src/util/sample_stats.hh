@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Exact sample-set statistics with percentiles.
+ */
+
+#ifndef SLEEPSCALE_UTIL_SAMPLE_STATS_HH
+#define SLEEPSCALE_UTIL_SAMPLE_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/online_stats.hh"
+
+namespace sleepscale {
+
+/**
+ * Stores every sample and answers exact order statistics.
+ *
+ * Used where the sample count is bounded (policy evaluation over one epoch
+ * log, tests) and exact percentiles matter; day-long runs use
+ * QuantileHistogram instead.
+ */
+class SampleStats
+{
+  public:
+    SampleStats() = default;
+
+    /** Pre-allocate space for n samples. */
+    explicit SampleStats(std::size_t reserve) { _samples.reserve(reserve); }
+
+    /** Absorb one sample. */
+    void
+    add(double x)
+    {
+        _samples.push_back(x);
+        _moments.add(x);
+        _sorted = false;
+    }
+
+    /** Number of samples. */
+    std::size_t count() const { return _samples.size(); }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return _moments.mean(); }
+
+    /** Unbiased variance. */
+    double variance() const { return _moments.variance(); }
+
+    /** Standard deviation. */
+    double stddev() const { return _moments.stddev(); }
+
+    /** Coefficient of variation. */
+    double cv() const { return _moments.cv(); }
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return _moments.min(); }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return _moments.max(); }
+
+    /**
+     * Exact percentile by linear interpolation between order statistics.
+     *
+     * @param p Percentile in [0, 100].
+     * @return The p-th percentile; 0 when the set is empty.
+     */
+    double percentile(double p) const;
+
+    /**
+     * Empirical exceedance probability Pr(X >= x).
+     */
+    double exceedance(double x) const;
+
+    /** Read-only access to the raw samples (unsorted insertion order is
+     * not preserved once percentile() has been called). */
+    const std::vector<double> &samples() const { return _samples; }
+
+    /** Forget all samples. */
+    void
+    reset()
+    {
+        _samples.clear();
+        _moments.reset();
+        _sorted = false;
+    }
+
+  private:
+    mutable std::vector<double> _samples;
+    mutable bool _sorted = false;
+    OnlineStats _moments;
+
+    void ensureSorted() const;
+};
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_UTIL_SAMPLE_STATS_HH

@@ -1,0 +1,73 @@
+#include "util/table_printer.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+    fatalIf(_headers.empty(), "TablePrinter: need at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    fatalIf(cells.size() != _headers.size(),
+            "TablePrinter::addRow: cell count does not match header count");
+    _rows.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addRow(const std::vector<double> &cells, int precision)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double value : cells) {
+        std::ostringstream cell;
+        cell << std::fixed << std::setprecision(precision) << value;
+        text.push_back(cell.str());
+    }
+    addRow(std::move(text));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::setw(static_cast<int>(widths[c])) << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+
+    print_row(_headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 == widths.size() ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : _rows)
+        print_row(row);
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << '\n' << std::string(title.size() + 8, '=') << '\n'
+       << "==  " << title << "  ==\n"
+       << std::string(title.size() + 8, '=') << '\n';
+}
+
+} // namespace sleepscale

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Aligned plain-text tables for the bench harnesses.
+ *
+ * Every bench binary prints the rows/series of the paper figure or table it
+ * regenerates; TablePrinter keeps that output readable and uniform.
+ */
+
+#ifndef SLEEPSCALE_UTIL_TABLE_PRINTER_HH
+#define SLEEPSCALE_UTIL_TABLE_PRINTER_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sleepscale {
+
+/** Column-aligned text table accumulated row by row. */
+class TablePrinter
+{
+  public:
+    /** @param headers Column titles. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a pre-formatted row (width must match the headers). */
+    void addRow(std::vector<std::string> cells);
+
+    /**
+     * Append a row of doubles rendered with fixed precision.
+     *
+     * @param cells Values, one per column.
+     * @param precision Digits after the decimal point.
+     */
+    void addRow(const std::vector<double> &cells, int precision = 3);
+
+    /** Render the table, headers underlined, columns padded. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Print a section banner (used by benches to label figure panels). */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_UTIL_TABLE_PRINTER_HH

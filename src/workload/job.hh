@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The unit of work flowing through the queueing system.
+ */
+
+#ifndef SLEEPSCALE_WORKLOAD_JOB_HH
+#define SLEEPSCALE_WORKLOAD_JOB_HH
+
+namespace sleepscale {
+
+/**
+ * One job: an arrival instant and a service demand.
+ *
+ * The size is expressed in seconds of service at full frequency (f = 1);
+ * the simulator applies the workload's ServiceScaling law to obtain the
+ * actual service time at the operating frequency.
+ */
+struct Job
+{
+    double arrival = 0.0; ///< Absolute arrival time, seconds.
+    double size = 0.0;    ///< Service demand at f = 1, seconds.
+};
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_WORKLOAD_JOB_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Job-stream generation: fixed-count, fixed-duration, and trace-driven.
+ */
+
+#ifndef SLEEPSCALE_WORKLOAD_JOB_STREAM_HH
+#define SLEEPSCALE_WORKLOAD_JOB_STREAM_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hh"
+#include "workload/distribution.hh"
+#include "workload/job.hh"
+#include "workload/utilization_trace.hh"
+#include "workload/workload_spec.hh"
+
+namespace sleepscale {
+
+/**
+ * Generate a fixed number of jobs (the paper's Section 4.1 methodology,
+ * N = 10,000 by default there).
+ *
+ * @param rng Random stream.
+ * @param inter_arrival Inter-arrival time distribution.
+ * @param service Service-demand distribution (sizes at f = 1).
+ * @param count Number of jobs.
+ * @return Jobs with non-decreasing arrival times starting after t = 0.
+ */
+std::vector<Job> generateJobs(Rng &rng, const Distribution &inter_arrival,
+                              const Distribution &service,
+                              std::size_t count);
+
+/**
+ * Generate jobs arriving within [0, duration).
+ */
+std::vector<Job> generateJobsForDuration(Rng &rng,
+                                         const Distribution &inter_arrival,
+                                         const Distribution &service,
+                                         double duration);
+
+/**
+ * Generate a stationary job stream for a workload at a target utilization.
+ */
+std::vector<Job> generateWorkloadJobs(Rng &rng, const WorkloadSpec &spec,
+                                      double utilization,
+                                      std::size_t count);
+
+/**
+ * Generate a trace-driven job stream (paper Section 6 methodology).
+ *
+ * Inter-arrival gaps are drawn from the workload's fitted distribution
+ * with the *shape* (Cv) held fixed while the mean is rescaled minute by
+ * minute so the offered load matches the utilization trace.
+ *
+ * @param rng Random stream.
+ * @param spec Workload characterization (service distribution is
+ *             stationary; only arrivals are modulated).
+ * @param trace Per-minute utilization targets.
+ * @return Jobs covering the whole trace duration.
+ */
+std::vector<Job> generateTraceDrivenJobs(Rng &rng, const WorkloadSpec &spec,
+                                         const UtilizationTrace &trace);
+
+/** Measured offered load of a job list over a window: Σ size / window. */
+double offeredLoad(const std::vector<Job> &jobs, double window);
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_WORKLOAD_JOB_STREAM_HH

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the Appendix closed forms: limiting cases and structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/mm1_sleep.hh"
+#include "power/platform_model.hh"
+#include "util/error.hh"
+
+namespace sleepscale {
+namespace {
+
+class Analytic : public ::testing::Test
+{
+  protected:
+    PlatformModel xeon = PlatformModel::xeon();
+    MM1SleepModel model{xeon};
+
+    static Policy
+    immediate(LowPowerState state, double f = 1.0)
+    {
+        return Policy{f, SleepPlan::immediate(state)};
+    }
+};
+
+// --------------------------------------------------------- basic limits
+
+TEST_F(Analytic, ZeroWakeLatencyReducesToMM1Response)
+{
+    // C0(i)S0(i) has w = 0, so E[R] = 1/(µf - λ) exactly.
+    const double mu = 1.0 / 0.194;
+    const double lambda = 0.3 * mu;
+    for (double f : {1.0, 0.7, 0.5}) {
+        const double expected = 1.0 / (mu * f - lambda);
+        EXPECT_NEAR(model.meanResponse(
+                        immediate(LowPowerState::C0IdleS0Idle, f), lambda,
+                        mu),
+                    expected, 1e-12)
+            << "f=" << f;
+    }
+}
+
+TEST_F(Analytic, ZeroWakeLatencyPowerIsBusyIdleMix)
+{
+    // With w = 0 and a single τ = 0 state, E[P] = ρ_f P0 + (1-ρ_f) P1.
+    const double mu = 1.0 / 0.194;
+    const double lambda = 0.2 * mu;
+    const double f = 0.8;
+    const double rho_f = lambda / (mu * f);
+    const double p0 = xeon.activePower(f);
+    const double p1 = xeon.lowPower(LowPowerState::C0IdleS0Idle, f);
+    EXPECT_NEAR(model.meanPower(immediate(LowPowerState::C0IdleS0Idle, f),
+                                lambda, mu),
+                rho_f * p0 + (1.0 - rho_f) * p1, 1e-9);
+}
+
+TEST_F(Analytic, SetupDelayRaisesResponseAboveMM1)
+{
+    const double mu = 1.0 / 0.194;
+    const double lambda = 0.1 * mu;
+    const double mm1 = 1.0 / (mu - lambda);
+    const double with_setup = model.meanResponse(
+        immediate(LowPowerState::C6S3), lambda, mu);
+    EXPECT_GT(with_setup, mm1);
+    // E[D] for an immediate single state is exactly w1 = 1 s.
+    EXPECT_NEAR(model.meanSetupDelay(immediate(LowPowerState::C6S3),
+                                     lambda),
+                1.0, 1e-12);
+}
+
+TEST_F(Analytic, WelchFormulaMatchesHandComputation)
+{
+    // Single state, w = 1 s: E[R] = 1/(µf-λ) + (2w + λw²)/(2(1+λw)).
+    const double mu = 1.0 / 0.194;
+    const double lambda = 0.1 * mu;
+    const double w = 1.0;
+    const double expected = 1.0 / (mu - lambda) +
+                            (2.0 * w + lambda * w * w) /
+                                (2.0 * (1.0 + lambda * w));
+    EXPECT_NEAR(model.meanResponse(immediate(LowPowerState::C6S3), lambda,
+                                   mu),
+                expected, 1e-12);
+}
+
+// ------------------------------------------------------ two-stage plans
+
+TEST_F(Analytic, HugeDelayReducesToFirstStage)
+{
+    // C0(i)S0(i) -> C6S3 with τ2 → huge behaves like pure C0(i)S0(i).
+    const double mu = 1.0 / 0.194;
+    const double lambda = 0.2 * mu;
+    const Policy delayed{
+        0.8, SleepPlan::delayed(LowPowerState::C6S3, 1e9)};
+    const Policy pure = immediate(LowPowerState::C0IdleS0Idle, 0.8);
+    EXPECT_NEAR(model.meanPower(delayed, lambda, mu),
+                model.meanPower(pure, lambda, mu), 1e-6);
+    EXPECT_NEAR(model.meanResponse(delayed, lambda, mu),
+                model.meanResponse(pure, lambda, mu), 1e-9);
+}
+
+TEST_F(Analytic, TinyDelayApproachesDeepStage)
+{
+    const double mu = 1.0 / 0.194;
+    const double lambda = 0.2 * mu;
+    const Policy delayed{
+        1.0, SleepPlan::delayed(LowPowerState::C6S3, 1e-9)};
+    const Policy pure = immediate(LowPowerState::C6S3);
+    EXPECT_NEAR(model.meanPower(delayed, lambda, mu),
+                model.meanPower(pure, lambda, mu), 1e-3);
+    EXPECT_NEAR(model.meanResponse(delayed, lambda, mu),
+                model.meanResponse(pure, lambda, mu), 1e-6);
+}
+
+TEST_F(Analytic, DelayInterpolatesBetweenExtremes)
+{
+    // Lesson 4: the delayed policy's power lies between the immediate
+    // C6S3 and pure C0(i)S0(i) policies.
+    const double mu = 1.0 / 4.2e-3; // Google-like
+    const double lambda = 0.1 * mu;
+    const double f = 0.5;
+    const double tau = 30.0 / mu;
+
+    const double p_deep =
+        model.meanPower(immediate(LowPowerState::C6S3, f), lambda, mu);
+    const double p_shallow = model.meanPower(
+        immediate(LowPowerState::C0IdleS0Idle, f), lambda, mu);
+    const double p_delayed = model.meanPower(
+        Policy{f, SleepPlan::delayed(LowPowerState::C6S3, tau)}, lambda,
+        mu);
+    EXPECT_GT(p_delayed, std::min(p_deep, p_shallow));
+    EXPECT_LT(p_delayed, std::max(p_deep, p_shallow));
+}
+
+// ------------------------------------------------------------- the tail
+
+TEST_F(Analytic, TailBoundaryValues)
+{
+    const double mu = 1.0 / 0.194;
+    const double lambda = 0.1 * mu;
+    const Policy policy = immediate(LowPowerState::C6S3);
+    EXPECT_DOUBLE_EQ(model.tailProbability(policy, lambda, mu, 0.0), 1.0);
+    EXPECT_NEAR(model.tailProbability(policy, lambda, mu, 1e9), 0.0,
+                1e-12);
+}
+
+TEST_F(Analytic, TailWithoutWakeIsExponential)
+{
+    const double mu = 1.0 / 0.194;
+    const double lambda = 0.3 * mu;
+    const Policy policy = immediate(LowPowerState::C0IdleS0Idle);
+    const double d = 0.5;
+    EXPECT_NEAR(model.tailProbability(policy, lambda, mu, d),
+                std::exp(-(mu - lambda) * d), 1e-12);
+}
+
+TEST_F(Analytic, TailIsMonotoneDecreasing)
+{
+    const double mu = 1.0 / 0.194;
+    const double lambda = 0.2 * mu;
+    const Policy policy = immediate(LowPowerState::C6S3);
+    double previous = 1.0;
+    for (double d : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+        const double p = model.tailProbability(policy, lambda, mu, d);
+        EXPECT_LT(p, previous);
+        EXPECT_GE(p, 0.0);
+        previous = p;
+    }
+}
+
+TEST_F(Analytic, TailRejectsMultiStagePlans)
+{
+    const double mu = 1.0 / 0.194;
+    const Policy delayed{1.0, SleepPlan::delayed(LowPowerState::C6S3,
+                                                 1.0)};
+    EXPECT_THROW(model.tailProbability(delayed, 0.1 * mu, mu, 1.0),
+                 ConfigError);
+}
+
+// --------------------------------------------------------- M/G/1 bridge
+
+TEST_F(Analytic, MG1WithUnitCvEqualsMM1)
+{
+    const double mu = 1.0 / 0.092;
+    const double lambda = 0.4 * mu;
+    const Policy policy = immediate(LowPowerState::C3S0Idle, 0.9);
+    EXPECT_NEAR(model.meanResponseMG1(policy, lambda, mu, 1.0),
+                model.meanResponse(policy, lambda, mu), 1e-12);
+}
+
+TEST_F(Analytic, MG1HeavyTailRaisesWaiting)
+{
+    const double mu = 1.0 / 0.092;
+    const double lambda = 0.4 * mu;
+    const Policy policy = immediate(LowPowerState::C0IdleS0Idle);
+    EXPECT_GT(model.meanResponseMG1(policy, lambda, mu, 3.6),
+              model.meanResponseMG1(policy, lambda, mu, 1.0));
+}
+
+// ----------------------------------------------------- structure checks
+
+TEST_F(Analytic, PowerIsMonotoneInUtilization)
+{
+    const double mu = 1.0 / 0.194;
+    const Policy policy = immediate(LowPowerState::C6S0Idle, 0.9);
+    double previous = 0.0;
+    for (double rho : {0.05, 0.2, 0.4, 0.6, 0.8}) {
+        const double p = model.meanPower(policy, rho * mu, mu);
+        EXPECT_GT(p, previous) << "rho=" << rho;
+        previous = p;
+    }
+}
+
+TEST_F(Analytic, PowerBowlExistsAcrossFrequency)
+{
+    // Lesson 1: power as a function of f has an interior minimum for
+    // DNS-like work at low utilization with C6S3.
+    const double mu = 1.0 / 0.194;
+    const double lambda = 0.1 * mu;
+    const Policy deep = immediate(LowPowerState::C6S3);
+
+    double best_f = 1.0;
+    double best_power = model.meanPower(deep, lambda, mu);
+    for (double f = 0.12; f <= 1.0; f += 0.01) {
+        Policy p = deep;
+        p.frequency = f;
+        const double power = model.meanPower(p, lambda, mu);
+        if (power < best_power) {
+            best_power = power;
+            best_f = f;
+        }
+    }
+    EXPECT_GT(best_f, 0.15);
+    EXPECT_LT(best_f, 0.9);
+    EXPECT_LT(best_power,
+              model.meanPower(deep, lambda, mu) * 0.95);
+}
+
+TEST_F(Analytic, BusyFractionBetweenZeroAndOne)
+{
+    const double mu = 1.0 / 0.194;
+    for (double rho : {0.1, 0.5, 0.8}) {
+        const double busy = model.busyFraction(
+            immediate(LowPowerState::C6S0Idle), rho * mu, mu);
+        EXPECT_GT(busy, rho * 0.99); // wake-ups only add busy time
+        EXPECT_LT(busy, 1.0);
+    }
+}
+
+TEST_F(Analytic, UnstableSystemsRejected)
+{
+    const double mu = 1.0 / 0.194;
+    const Policy slow = immediate(LowPowerState::C0IdleS0Idle, 0.3);
+    EXPECT_THROW(model.meanResponse(slow, 0.5 * mu, mu), ConfigError);
+    EXPECT_THROW(model.meanPower(slow, 0.5 * mu, mu), ConfigError);
+}
+
+TEST_F(Analytic, EffectiveServiceRateFollowsScalingLaw)
+{
+    const MM1SleepModel memory(xeon, ServiceScaling::memoryBound());
+    EXPECT_DOUBLE_EQ(memory.effectiveServiceRate(10.0, 0.3), 10.0);
+    const MM1SleepModel cpu(xeon, ServiceScaling::cpuBound());
+    EXPECT_DOUBLE_EQ(cpu.effectiveServiceRate(10.0, 0.5), 5.0);
+    EXPECT_TRUE(cpu.stable(4.9, 10.0, 0.5));
+    EXPECT_FALSE(cpu.stable(5.1, 10.0, 0.5));
+}
+
+} // namespace
+} // namespace sleepscale

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the paper's Atom-class observations (Sections 4.2): with a
+ * small CPU power envelope against an unchanged platform, the
+ * frequency knob stops mattering and the winning strategy is to run
+ * fast and enter a low-power state immediately.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/mm1_sleep.hh"
+#include "power/platform_model.hh"
+#include "sim/policy.hh"
+
+namespace sleepscale {
+namespace {
+
+/** Power-optimal frequency for a state under the closed-form model. */
+double
+optimalFrequency(const MM1SleepModel &model, LowPowerState state,
+                 double rho, double mu)
+{
+    double best_f = 1.0;
+    double best_power = 1e18;
+    for (double f = rho + 0.02; f <= 1.0 + 1e-9; f += 0.01) {
+        const Policy policy{std::min(f, 1.0),
+                            SleepPlan::immediate(state)};
+        const double power = model.meanPower(policy, rho * mu, mu);
+        if (power < best_power) {
+            best_power = power;
+            best_f = policy.frequency;
+        }
+    }
+    return best_f;
+}
+
+TEST(Atom, DeepSleepPrefersHighFrequencyOnAtom)
+{
+    // DNS-like at rho = 0.1: on Xeon the C6S3 bowl bottoms at an
+    // interior frequency (~0.4); on Atom the optimum is to run fast and
+    // sleep immediately (the paper's Atom observation under lesson 1).
+    const PlatformModel xeon = PlatformModel::xeon();
+    const PlatformModel atom = PlatformModel::atom();
+    const MM1SleepModel xeon_model(xeon);
+    const MM1SleepModel atom_model(atom);
+    const double mu = 1.0 / 0.194;
+
+    const double xeon_f =
+        optimalFrequency(xeon_model, LowPowerState::C6S3, 0.1, mu);
+    const double atom_f =
+        optimalFrequency(atom_model, LowPowerState::C6S3, 0.1, mu);
+    EXPECT_LT(xeon_f, 0.6);
+    EXPECT_GT(atom_f, 0.8);
+}
+
+TEST(Atom, FrequencyMattersLittleForPower)
+{
+    // The whole DVFS range changes Atom system power by only a few
+    // watts (CPU dynamic power is a small slice of the platform's).
+    const PlatformModel atom = PlatformModel::atom();
+    const double swing =
+        atom.activePower(1.0) - atom.activePower(0.3);
+    EXPECT_LT(swing, 0.1 * atom.activePower(1.0));
+
+    const PlatformModel xeon = PlatformModel::xeon();
+    const double xeon_swing =
+        xeon.activePower(1.0) - xeon.activePower(0.3);
+    EXPECT_GT(xeon_swing, 0.4 * xeon.activePower(1.0));
+}
+
+TEST(Atom, SleepStatesCarryTheSavings)
+{
+    // On Atom the spread across sleep states dwarfs what DVFS can save:
+    // component deactivation is the effective knob.
+    const PlatformModel atom = PlatformModel::atom();
+    const MM1SleepModel model(atom);
+    const double mu = 1.0 / 0.194;
+    const double lambda = 0.1 * mu;
+
+    const double shallow = model.meanPower(
+        Policy{1.0, SleepPlan::immediate(LowPowerState::C0IdleS0Idle)},
+        lambda, mu);
+    const double deep = model.meanPower(
+        Policy{1.0, SleepPlan::immediate(LowPowerState::C6S3)}, lambda,
+        mu);
+    const double state_savings = shallow - deep;
+
+    // Best DVFS can do while stuck in C0(i)S0(i):
+    const double f_best = optimalFrequency(
+        model, LowPowerState::C0IdleS0Idle, 0.1, mu);
+    const double dvfs_savings =
+        shallow -
+        model.meanPower(Policy{f_best, SleepPlan::immediate(
+                                           LowPowerState::C0IdleS0Idle)},
+                        lambda, mu);
+
+    EXPECT_GT(state_savings, 3.0 * std::max(dvfs_savings, 1.0));
+}
+
+} // namespace
+} // namespace sleepscale

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the utilization predictors (paper Section 5.2.2, Algorithm 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/predictor.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace sleepscale {
+namespace {
+
+/** Total absolute one-step-ahead error of a predictor over a signal. */
+double
+cumulativeError(UtilizationPredictor &predictor,
+                const std::vector<double> &signal, std::size_t warmup = 0)
+{
+    double total = 0.0;
+    for (std::size_t t = 0; t < signal.size(); ++t) {
+        const double forecast = predictor.predict(t);
+        if (t >= warmup)
+            total += std::abs(forecast - signal[t]);
+        predictor.observe(t, signal[t]);
+    }
+    return total;
+}
+
+std::vector<double>
+stepSignal(std::size_t len, std::size_t change, double before,
+           double after)
+{
+    std::vector<double> signal(len, before);
+    for (std::size_t t = change; t < len; ++t)
+        signal[t] = after;
+    return signal;
+}
+
+// --------------------------------------------------------- NaivePrevious
+
+TEST(NaivePrevious, ForecastsLastObservation)
+{
+    NaivePreviousPredictor predictor(0.3);
+    EXPECT_DOUBLE_EQ(predictor.predict(0), 0.3);
+    predictor.observe(0, 0.7);
+    EXPECT_DOUBLE_EQ(predictor.predict(1), 0.7);
+    predictor.observe(1, 0.2);
+    EXPECT_DOUBLE_EQ(predictor.predict(2), 0.2);
+}
+
+TEST(NaivePrevious, ClampsObservations)
+{
+    NaivePreviousPredictor predictor;
+    predictor.observe(0, 1.7);
+    EXPECT_DOUBLE_EQ(predictor.predict(1), 1.0);
+    predictor.observe(1, -0.3);
+    EXPECT_DOUBLE_EQ(predictor.predict(2), 0.0);
+}
+
+TEST(NaivePrevious, TracksStepInstantly)
+{
+    NaivePreviousPredictor predictor;
+    const auto signal = stepSignal(20, 10, 0.1, 0.9);
+    for (std::size_t t = 0; t < signal.size(); ++t)
+        predictor.observe(t, signal[t]);
+    EXPECT_DOUBLE_EQ(predictor.predict(20), 0.9);
+}
+
+// ------------------------------------------------------------------- LMS
+
+TEST(Lms, ConvergesOnConstantSignal)
+{
+    LmsPredictor predictor(10);
+    for (std::size_t t = 0; t < 300; ++t)
+        predictor.observe(t, 0.4);
+    EXPECT_NEAR(predictor.predict(300), 0.4, 0.01);
+}
+
+TEST(Lms, SmoothsNoiseBetterThanNaive)
+{
+    // White noise around a constant level: the averaging filter must
+    // beat the naive predictor.
+    Rng rng(42);
+    std::vector<double> signal;
+    for (int t = 0; t < 500; ++t)
+        signal.push_back(std::clamp(0.5 + rng.normal(0.0, 0.1), 0.0,
+                                    1.0));
+
+    LmsPredictor lms(10);
+    NaivePreviousPredictor naive;
+    const double lms_err = cumulativeError(lms, signal, 50);
+    const double naive_err = cumulativeError(naive, signal, 50);
+    EXPECT_LT(lms_err, naive_err);
+}
+
+TEST(Lms, ForecastStaysInUnitInterval)
+{
+    LmsPredictor predictor(5);
+    Rng rng(7);
+    for (std::size_t t = 0; t < 200; ++t) {
+        predictor.observe(t, rng.uniform());
+        const double forecast = predictor.predict(t + 1);
+        ASSERT_GE(forecast, 0.0);
+        ASSERT_LE(forecast, 1.0);
+    }
+}
+
+TEST(Lms, ValidationRejectsBadParameters)
+{
+    EXPECT_THROW(LmsPredictor(0), ConfigError);
+    EXPECT_THROW(LmsPredictor(5, 0.5, 0.0), ConfigError);
+    EXPECT_THROW(LmsPredictor(5, 0.5, 2.5), ConfigError);
+}
+
+// ------------------------------------------------------------- LMS+CUSUM
+
+TEST(LmsCusum, DetectsAbruptChange)
+{
+    LmsCusumPredictor predictor(10);
+    const auto signal = stepSignal(100, 50, 0.1, 0.9);
+    for (std::size_t t = 0; t < signal.size(); ++t)
+        predictor.observe(t, signal[t]);
+    EXPECT_GE(predictor.changesDetected(), 1u);
+}
+
+TEST(LmsCusum, TapsCollapseOnChangeAndRegrow)
+{
+    LmsCusumPredictor predictor(10);
+    // Stationary warm-up grows taps to the maximum.
+    for (std::size_t t = 0; t < 50; ++t)
+        predictor.observe(t, 0.2);
+    EXPECT_EQ(predictor.taps(), 10u);
+
+    // A large step collapses the window...
+    predictor.observe(50, 0.95);
+    EXPECT_EQ(predictor.taps(), 1u);
+
+    // ...then stationarity regrows it.
+    for (std::size_t t = 51; t < 80; ++t)
+        predictor.observe(t, 0.95);
+    EXPECT_EQ(predictor.taps(), 10u);
+}
+
+TEST(LmsCusum, TracksStepFasterThanPlainLms)
+{
+    // Cumulative error after the change point: the change detector must
+    // recover faster than the fixed-window filter (the paper's rationale
+    // for LC over LMS).
+    const auto signal = stepSignal(120, 60, 0.15, 0.85);
+    LmsCusumPredictor lc(10);
+    LmsPredictor lms(10);
+    double lc_err = 0.0, lms_err = 0.0;
+    for (std::size_t t = 0; t < signal.size(); ++t) {
+        if (t >= 60) {
+            lc_err += std::abs(lc.predict(t) - signal[t]);
+            lms_err += std::abs(lms.predict(t) - signal[t]);
+        }
+        lc.observe(t, signal[t]);
+        lms.observe(t, signal[t]);
+    }
+    EXPECT_LT(lc_err, lms_err);
+}
+
+TEST(LmsCusum, StationaryNoiseDoesNotConstantlyReset)
+{
+    Rng rng(11);
+    LmsCusumPredictor predictor(10);
+    for (std::size_t t = 0; t < 500; ++t)
+        predictor.observe(
+            t, std::clamp(0.4 + rng.normal(0.0, 0.03), 0.0, 1.0));
+    // A few resets are tolerable; constant resetting is not.
+    EXPECT_LT(predictor.changesDetected(), 50u);
+}
+
+TEST(LmsCusum, ConvergesOnConstantSignal)
+{
+    LmsCusumPredictor predictor(10);
+    for (std::size_t t = 0; t < 300; ++t)
+        predictor.observe(t, 0.6);
+    EXPECT_NEAR(predictor.predict(300), 0.6, 0.01);
+}
+
+// ---------------------------------------------------------------- Offline
+
+TEST(Offline, ReturnsTrueTraceValues)
+{
+    OfflinePredictor predictor({0.1, 0.5, 0.9});
+    EXPECT_DOUBLE_EQ(predictor.predict(0), 0.1);
+    EXPECT_DOUBLE_EQ(predictor.predict(2), 0.9);
+    predictor.observe(0, 0.42); // ignored
+    EXPECT_DOUBLE_EQ(predictor.predict(1), 0.5);
+}
+
+TEST(Offline, OutOfTraceRejected)
+{
+    OfflinePredictor predictor({0.1});
+    EXPECT_THROW(predictor.predict(1), ConfigError);
+    EXPECT_THROW(OfflinePredictor({}), ConfigError);
+}
+
+// ---------------------------------------------------------------- factory
+
+TEST(PredictorFactory, BuildsEveryKind)
+{
+    EXPECT_EQ(makePredictor("NP")->name(), "NP");
+    EXPECT_EQ(makePredictor("LMS")->name(), "LMS");
+    EXPECT_EQ(makePredictor("LC")->name(), "LC");
+    EXPECT_EQ(makePredictor("Offline", 10, {0.5})->name(), "Offline");
+}
+
+TEST(PredictorFactory, RejectsUnknownAndMissingTrace)
+{
+    EXPECT_THROW(makePredictor("magic"), ConfigError);
+    EXPECT_THROW(makePredictor("Offline"), ConfigError);
+}
+
+// ------------------------------------------- comparative sanity (paper)
+
+TEST(PredictorComparison, OfflineBeatsEveryCausalPredictorOnSurges)
+{
+    // Spiky signal reminiscent of the email-store trace.
+    Rng rng(3);
+    std::vector<double> signal;
+    for (int t = 0; t < 600; ++t) {
+        double u = 0.3 + 0.1 * std::sin(t / 40.0);
+        if (t % 97 < 5)
+            u = 0.85;
+        signal.push_back(std::clamp(u + rng.normal(0.0, 0.02), 0.0, 1.0));
+    }
+
+    OfflinePredictor offline(signal);
+    LmsCusumPredictor lc(10);
+
+    const double off_err = cumulativeError(offline, signal, 50);
+    NaivePreviousPredictor naive;
+    const double np_err = cumulativeError(naive, signal, 50);
+    const double lc_err = cumulativeError(lc, signal, 50);
+
+    EXPECT_LT(off_err, 1e-9);
+    EXPECT_LT(off_err, np_err);
+    EXPECT_LT(off_err, lc_err);
+}
+
+} // namespace
+} // namespace sleepscale

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Randomized invariant (fuzz) tests for the simulation core.
+ *
+ * Each case builds a random scenario — random job stream, random sleep
+ * plan, random mid-run policy switches, random window harvests — and
+ * checks the invariants that must hold for *any* scenario:
+ *
+ *   1. job conservation: everything offered eventually completes;
+ *   2. time conservation: busy time plus idle residencies tile the run;
+ *   3. energy bounds: average power lies between the deepest sleep
+ *      power and the full-frequency active power;
+ *   4. window additivity: harvested windows sum to the one-shot totals;
+ *   5. determinism: identical seeds give identical accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/mm1_sleep.hh"
+#include "power/platform_model.hh"
+#include "sim/server_sim.hh"
+#include "util/rng.hh"
+#include "workload/job_stream.hh"
+
+namespace sleepscale {
+namespace {
+
+/** Random single- or multi-stage plan drawn from the five states. */
+SleepPlan
+randomPlan(Rng &rng)
+{
+    const std::size_t first = rng.uniformInt(numLowPowerStates);
+    std::vector<SleepStage> stages;
+    stages.push_back({allLowPowerStates[first], 0.0});
+    double tau = 0.0;
+    for (std::size_t depth = first + 1; depth < numLowPowerStates;
+         ++depth) {
+        if (rng.uniform() < 0.4) {
+            tau += rng.uniform(0.01, 2.0);
+            stages.push_back({allLowPowerStates[depth], tau});
+        }
+    }
+    return SleepPlan(stages);
+}
+
+Policy
+randomPolicy(Rng &rng)
+{
+    return Policy{rng.uniform(0.15, 1.0), randomPlan(rng)};
+}
+
+struct FuzzTotals
+{
+    SimStats merged;
+    std::uint64_t offered = 0;
+};
+
+/**
+ * Run a random scenario: jobs at a random load, random policy switches
+ * at random times, windows harvested at every switch.
+ */
+FuzzTotals
+runScenario(std::uint64_t seed, const PlatformModel &platform)
+{
+    Rng rng(seed);
+    const double service_mean = rng.uniform(0.001, 0.3);
+    const double rho = rng.uniform(0.05, 0.6);
+    ExponentialDist gaps(service_mean / rho);
+    ExponentialDist sizes(service_mean);
+    const auto jobs = generateJobs(rng, gaps, sizes, 4000);
+
+    ServerSim sim(platform, ServiceScaling::cpuBound(),
+                  randomPolicy(rng));
+
+    FuzzTotals totals;
+    totals.offered = jobs.size();
+    std::size_t next = 0;
+    double clock = 0.0;
+    while (next < jobs.size()) {
+        // Advance by a random stride, harvesting and maybe switching.
+        clock += rng.uniform(0.5, 30.0 * service_mean / rho);
+        while (next < jobs.size() && jobs[next].arrival <= clock) {
+            sim.offerJob(jobs[next]);
+            ++next;
+        }
+        sim.advanceTo(clock);
+        totals.merged.merge(sim.harvestWindow());
+        if (rng.uniform() < 0.3)
+            sim.setPolicy(randomPolicy(rng), clock);
+    }
+    const double end = std::max(clock, sim.nextFreeTime());
+    sim.advanceTo(end);
+    totals.merged.merge(sim.harvestWindow());
+    return totals;
+}
+
+class SimFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    PlatformModel xeon = PlatformModel::xeon();
+};
+
+TEST_P(SimFuzz, InvariantsHoldUnderRandomScenarios)
+{
+    const FuzzTotals totals = runScenario(GetParam(), xeon);
+    const SimStats &stats = totals.merged;
+
+    // 1. Job conservation.
+    EXPECT_EQ(stats.arrivals, totals.offered);
+    EXPECT_EQ(stats.completions, totals.offered);
+
+    // 2. Time conservation: busy + idle residencies tile the window.
+    const double accounted = stats.busyTime + stats.idleTime();
+    EXPECT_NEAR(accounted / stats.elapsed(), 1.0, 1e-9);
+
+    // 3. Energy bounds.
+    const double floor_power = xeon.lowPower(LowPowerState::C6S3, 1.0);
+    const double ceil_power = xeon.activePower(1.0);
+    EXPECT_GE(stats.avgPower(), floor_power - 1e-9);
+    EXPECT_LE(stats.avgPower(), ceil_power + 1e-9);
+
+    // Responses are positive and the histogram agrees with the
+    // streaming moments on the count.
+    EXPECT_EQ(stats.response.count(), stats.completions);
+    EXPECT_EQ(stats.responseHistogram.count(), stats.completions);
+    EXPECT_GT(stats.response.min(), 0.0);
+}
+
+TEST_P(SimFuzz, DeterministicGivenSeed)
+{
+    const FuzzTotals a = runScenario(GetParam(), xeon);
+    const FuzzTotals b = runScenario(GetParam(), xeon);
+    EXPECT_DOUBLE_EQ(a.merged.energy, b.merged.energy);
+    EXPECT_DOUBLE_EQ(a.merged.busyTime, b.merged.busyTime);
+    EXPECT_DOUBLE_EQ(a.merged.response.mean(), b.merged.response.mean());
+    EXPECT_EQ(a.merged.completions, b.merged.completions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+// -------------------------------------------- windows vs one-shot totals
+
+TEST(SimFuzzWindows, WindowedRunMatchesOneShotRun)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    Rng rng(404);
+    ExponentialDist gaps(0.4), sizes(0.194);
+    const auto jobs = generateJobs(rng, gaps, sizes, 20000);
+    const Policy policy{0.7, SleepPlan::immediate(LowPowerState::C6S3)};
+
+    // One shot.
+    const PolicyEvaluation one_shot =
+        evaluatePolicy(xeon, ServiceScaling::cpuBound(), policy, jobs);
+
+    // Windowed at arbitrary boundaries.
+    ServerSim sim(xeon, ServiceScaling::cpuBound(), policy);
+    SimStats merged;
+    Rng boundary_rng(405);
+    std::size_t next = 0;
+    double clock = 0.0;
+    const double end_time = one_shot.stats.windowEnd;
+    while (clock < end_time) {
+        clock = std::min(end_time, clock + boundary_rng.uniform(1.0,
+                                                                60.0));
+        while (next < jobs.size() && jobs[next].arrival <= clock) {
+            sim.offerJob(jobs[next]);
+            ++next;
+        }
+        sim.advanceTo(clock);
+        merged.merge(sim.harvestWindow());
+    }
+    sim.advanceTo(sim.nextFreeTime());
+    merged.merge(sim.harvestWindow());
+
+    EXPECT_NEAR(merged.energy, one_shot.stats.energy, 1e-6);
+    EXPECT_NEAR(merged.busyTime, one_shot.stats.busyTime, 1e-9);
+    EXPECT_EQ(merged.completions, one_shot.stats.completions);
+    EXPECT_NEAR(merged.response.mean(), one_shot.meanResponse(), 1e-12);
+}
+
+// ------------------------------------- random plans vs the closed forms
+
+class PlanFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PlanFuzz, AnalyticMatchesSimulationForRandomPlans)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const MM1SleepModel model(xeon);
+    Rng rng(GetParam() * 7919);
+
+    const double service_mean = rng.uniform(0.01, 0.3);
+    const double mu = 1.0 / service_mean;
+    const double rho = rng.uniform(0.05, 0.5);
+    const double f = rng.uniform(rho + 0.1, 1.0);
+    const Policy policy{f, randomPlan(rng)};
+
+    ExponentialDist gaps(service_mean / rho);
+    ExponentialDist sizes(service_mean);
+    const auto jobs = generateJobs(rng, gaps, sizes, 250000);
+    const PolicyEvaluation eval =
+        evaluatePolicy(xeon, ServiceScaling::cpuBound(), policy, jobs);
+
+    EXPECT_NEAR(eval.avgPower() /
+                    model.meanPower(policy, rho * mu, mu),
+                1.0, 0.03)
+        << policy.toString() << " rho=" << rho;
+    EXPECT_NEAR(eval.meanResponse() /
+                    model.meanResponse(policy, rho * mu, mu),
+                1.0, 0.10)
+        << policy.toString() << " rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+} // namespace
+} // namespace sleepscale

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * The `sleepscale` command-line tool: run any of the library's
+ * experiments without writing C++.
+ *
+ *   sleepscale sweep  [--workload dns] [--rho 0.1] [--state C6S3]
+ *                     [--fstep 0.02] [--jobs 20000] [--seed 1]
+ *   sleepscale select [--workload dns] [--rho 0.3] [--rho-b 0.8]
+ *                     [--metric mean|tail] [--analytic] [--seed 1]
+ *   sleepscale run    [--trace es|fs|<file.csv>] [--workload dns]
+ *                     [--T 5] [--alpha 0.35] [--predictor LC]
+ *                     [--rho-b 0.8] [--days 1] [--seed 1]
+ *                     [--epochs-csv out.csv]
+ *   sleepscale trace  [--kind es|fs] [--days 3] [--seed 42]
+ *                     [--out trace.csv]
+ *   sleepscale farm   [--servers 4] [--dispatcher packing]
+ *                     [--trace es|fs] [--workload dns] [--T 5]
+ *                     [--alpha 0.35] [--seed 1]
+ *
+ * Every command prints aligned tables to stdout; numbers are watts and
+ * seconds unless stated otherwise.
+ */
+
+#include <iostream>
+
+#include "analytic/mm1_sleep.hh"
+#include "core/policy_manager.hh"
+#include "core/runtime.hh"
+#include "core/strategies.hh"
+#include "farm/farm_runtime.hh"
+#include "util/cli_args.hh"
+#include "util/error.hh"
+#include "util/table_printer.hh"
+#include "workload/job_stream.hh"
+
+using namespace sleepscale;
+
+namespace {
+
+const std::set<std::string> knownOptions = {
+    "workload", "rho",   "state",      "fstep", "jobs",    "seed",
+    "rho-b",    "metric", "analytic",  "trace", "T",       "alpha",
+    "predictor", "days",  "epochs-csv", "kind",  "out",     "servers",
+    "dispatcher", "help",
+};
+
+WorkloadSpec
+workloadByName(const std::string &name)
+{
+    if (name == "dns")
+        return dnsWorkload();
+    if (name == "mail")
+        return mailWorkload();
+    if (name == "google")
+        return googleWorkload();
+    fatal("unknown workload '" + name + "' (dns | mail | google)");
+}
+
+UtilizationTrace
+traceByName(const std::string &name, unsigned days, std::uint64_t seed)
+{
+    if (name == "es")
+        return synthEmailStoreTrace(days, seed).dailyWindow(2, 20);
+    if (name == "fs")
+        return synthFileServerTrace(days, seed).dailyWindow(2, 20);
+    return UtilizationTrace::load(name);
+}
+
+QosMetric
+metricByName(const std::string &name)
+{
+    if (name == "mean")
+        return QosMetric::MeanResponse;
+    if (name == "tail")
+        return QosMetric::TailResponse;
+    fatal("unknown metric '" + name + "' (mean | tail)");
+}
+
+int
+cmdSweep(const CliArgs &args)
+{
+    const WorkloadSpec workload =
+        workloadByName(args.get("workload", "dns"));
+    const double rho = args.getDouble("rho", 0.1);
+    const LowPowerState state =
+        lowPowerStateFromString(args.get("state", "C6S3"));
+    const double fstep = args.getDouble("fstep", 0.02);
+    const auto count = args.getUnsigned("jobs", 20000);
+    const PlatformModel platform = PlatformModel::xeon();
+
+    Rng rng(args.getUnsigned("seed", 1));
+    const auto jobs =
+        generateWorkloadJobs(rng, workload, rho, count);
+
+    TablePrinter table({"f", "mu*E[R]", "p95*mu", "E[P] [W]"});
+    for (double f = rho + 0.02; f <= 1.0 + 1e-9; f += fstep) {
+        const Policy policy{std::min(f, 1.0),
+                            SleepPlan::immediate(state)};
+        const PolicyEvaluation eval = evaluatePolicy(
+            platform, workload.scaling, policy, jobs);
+        table.addRow({policy.frequency,
+                      eval.meanResponse() / workload.serviceMean,
+                      eval.p95Response() / workload.serviceMean,
+                      eval.avgPower()},
+                     3);
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdSelect(const CliArgs &args)
+{
+    const WorkloadSpec workload =
+        workloadByName(args.get("workload", "dns"));
+    const double rho = args.getDouble("rho", 0.3);
+    const double rho_b = args.getDouble("rho-b", 0.8);
+    const QosMetric metric = metricByName(args.get("metric", "mean"));
+    const PlatformModel platform = PlatformModel::xeon();
+
+    const QosConstraint qos =
+        metric == QosMetric::MeanResponse
+            ? QosConstraint::fromBaselineMean(rho_b,
+                                              workload.serviceMean)
+            : QosConstraint::fromBaselineTail(rho_b,
+                                              workload.serviceMean);
+    const PolicyManager manager(
+        platform, workload.scaling,
+        PolicySpace::allStates(PolicySpace::frequencyGrid(0.12, 1.0,
+                                                          0.01)),
+        qos);
+
+    PolicyDecision decision;
+    if (args.has("analytic")) {
+        const double mu = 1.0 / workload.serviceMean;
+        decision = manager.selectAnalytic(rho * mu, mu);
+    } else {
+        Rng rng(args.getUnsigned("seed", 1));
+        const auto jobs =
+            generateWorkloadJobs(rng, workload, rho, 20000);
+        decision = manager.selectFromLog(jobs);
+    }
+
+    std::cout << "policy:    " << decision.policy.toString() << '\n'
+              << "power:     " << decision.predictedPower << " W\n"
+              << toString(metric) << " value: "
+              << decision.predictedMetric << " s (budget "
+              << qos.budget() << " s)\n"
+              << "feasible:  " << (decision.feasible ? "yes" : "no")
+              << "  (" << decision.evaluated << " candidates)\n";
+    return 0;
+}
+
+int
+cmdRun(const CliArgs &args)
+{
+    const WorkloadSpec workload =
+        workloadByName(args.get("workload", "dns"));
+    const auto days =
+        static_cast<unsigned>(args.getUnsigned("days", 1));
+    const std::uint64_t seed = args.getUnsigned("seed", 1);
+    const UtilizationTrace trace =
+        traceByName(args.get("trace", "es"), days, 20140614);
+
+    RuntimeConfig config;
+    config.epochMinutes =
+        static_cast<unsigned>(args.getUnsigned("T", 5));
+    config.overProvision = args.getDouble("alpha", 0.35);
+    config.rhoB = args.getDouble("rho-b", 0.8);
+    config.qosMetric = metricByName(args.get("metric", "mean"));
+
+    const PlatformModel platform = PlatformModel::xeon();
+    const SleepScaleRuntime runtime(platform, workload, config);
+
+    Rng rng(seed);
+    const auto jobs = generateTraceDrivenJobs(rng, workload, trace);
+    const auto predictor = makePredictor(args.get("predictor", "LC"),
+                                         10, trace.values());
+    const RuntimeResult result = runtime.run(jobs, trace, *predictor);
+
+    std::cout << "jobs:          " << jobs.size() << '\n'
+              << "mean response: " << result.meanResponse() << " s  ("
+              << result.meanResponse() / workload.serviceMean
+              << " service times)\n"
+              << "p95 response:  " << result.p95Response() << " s\n"
+              << "avg power:     " << result.avgPower() << " W\n"
+              << "within budget: "
+              << (result.withinBudget() ? "yes" : "no") << '\n';
+
+    const auto fractions = result.stateSelectionFractions();
+    std::cout << "state mix:    ";
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+        if (fractions[i] > 0.0) {
+            std::cout << ' ' << toString(allLowPowerStates[i]) << '='
+                      << fractions[i];
+        }
+    }
+    std::cout << '\n';
+
+    if (args.has("epochs-csv")) {
+        const std::string path = args.get("epochs-csv", "epochs.csv");
+        writeCsvFile(path, epochsToCsv(result));
+        std::cout << "per-epoch CSV written to " << path << '\n';
+    }
+    return 0;
+}
+
+int
+cmdTrace(const CliArgs &args)
+{
+    const std::string kind = args.get("kind", "es");
+    const auto days =
+        static_cast<unsigned>(args.getUnsigned("days", 3));
+    const std::uint64_t seed = args.getUnsigned("seed", 42);
+    const UtilizationTrace trace =
+        kind == "es" ? synthEmailStoreTrace(days, seed)
+                     : synthFileServerTrace(days, seed);
+    const std::string out = args.get("out", kind + "_trace.csv");
+    trace.save(out);
+    std::cout << trace.name() << ": " << trace.size()
+              << " minutes, mean " << trace.meanUtilization()
+              << ", peak " << trace.peakUtilization() << " -> " << out
+              << '\n';
+    return 0;
+}
+
+int
+cmdFarm(const CliArgs &args)
+{
+    const WorkloadSpec workload =
+        workloadByName(args.get("workload", "dns"));
+    const UtilizationTrace trace = traceByName(
+        args.get("trace", "es"),
+        static_cast<unsigned>(args.getUnsigned("days", 1)), 20140614);
+
+    FarmRuntimeConfig config;
+    config.farmSize = args.getUnsigned("servers", 4);
+    config.dispatcher = args.get("dispatcher", "packing");
+    config.perServer.epochMinutes =
+        static_cast<unsigned>(args.getUnsigned("T", 5));
+    config.perServer.overProvision = args.getDouble("alpha", 0.35);
+    config.perServer.rhoB = args.getDouble("rho-b", 0.8);
+
+    const PlatformModel platform = PlatformModel::xeon();
+    const FarmRuntime runtime(platform, workload, config);
+
+    Rng rng(args.getUnsigned("seed", 1));
+    const auto jobs =
+        generateFarmJobs(rng, workload, trace, config.farmSize);
+    LmsCusumPredictor predictor(10);
+    const FarmRuntimeResult result =
+        runtime.run(jobs, trace, predictor);
+
+    std::cout << "servers:       " << config.farmSize << " ("
+              << config.dispatcher << ")\n"
+              << "jobs:          " << jobs.size() << '\n'
+              << "mean response: " << result.meanResponse() << " s\n"
+              << "farm power:    " << result.avgPower() << " W  ("
+              << result.avgPower() /
+                     static_cast<double>(config.farmSize)
+              << " W/server)\n"
+              << "within budget: "
+              << (result.withinBudget() ? "yes" : "no") << '\n';
+    return 0;
+}
+
+void
+printUsage()
+{
+    std::cout <<
+        "sleepscale — runtime joint speed scaling and sleep management\n"
+        "\n"
+        "commands:\n"
+        "  sweep    power/response curve for one sleep state\n"
+        "  select   pick the best (frequency, state) for a load\n"
+        "  run      trace-driven SleepScale day on one server\n"
+        "  trace    generate a synthetic utilization trace CSV\n"
+        "  farm     trace-driven SleepScale on a dispatched farm\n"
+        "\n"
+        "run `sleepscale <command> --help` semantics are documented at\n"
+        "the top of tools/sleepscale_cli.cc and in the README.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const CliArgs args(argc, argv, knownOptions);
+        const std::string &command = args.command();
+        if (command.empty() || args.has("help")) {
+            printUsage();
+            return command.empty() && argc > 1 ? 1 : 0;
+        }
+        if (command == "sweep")
+            return cmdSweep(args);
+        if (command == "select")
+            return cmdSelect(args);
+        if (command == "run")
+            return cmdRun(args);
+        if (command == "trace")
+            return cmdTrace(args);
+        if (command == "farm")
+            return cmdFarm(args);
+        std::cerr << "unknown command '" << command << "'\n\n";
+        printUsage();
+        return 1;
+    } catch (const ConfigError &error) {
+        std::cerr << error.what() << '\n';
+        return 1;
+    }
+}
