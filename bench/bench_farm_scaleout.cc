@@ -1,7 +1,8 @@
 /**
  * @file
  * Extension bench (paper Section 7 future work): SleepScale on a
- * multi-server farm. Two experiments:
+ * multi-server farm, both panels expressed as declarative sweep grids
+ * over the farm engine:
  *
  *  (a) Dispatcher study at fixed farm size: how routing shapes power
  *      and response when every back-end runs SleepScale. Packing
@@ -16,51 +17,50 @@
 #include <iostream>
 #include <sstream>
 
-#include "farm/farm_runtime.hh"
-#include "util/rng.hh"
-#include "util/table_printer.hh"
-#include "workload/job_stream.hh"
+#include "experiment/runner.hh"
+#include "farm/dispatcher.hh"
 
 using namespace sleepscale;
 
 int
 main()
 {
-    const PlatformModel xeon = PlatformModel::xeon();
-    const WorkloadSpec dns = dnsWorkload();
-    const UtilizationTrace day = synthEmailStoreTrace(1, 20140614);
-    const UtilizationTrace window = day.dailyWindow(2, 20);
-
     // ---------------- (a) dispatcher study ----------------
     printBanner(std::cout,
                 "Farm extension (a): dispatcher study, 4 servers, "
                 "email-store 2AM-8PM, DNS-like");
 
-    Rng rng(2020);
-    const auto jobs = generateFarmJobs(rng, dns, window, 4);
+    const ScenarioSpec dispatch_base = ScenarioBuilder("farm")
+                                           .engine(EngineKind::Farm)
+                                           .workload("dns")
+                                           .trace("es")
+                                           .traceSeed(20140614)
+                                           .window(2, 20)
+                                           .farmSize(4)
+                                           .packingSpillBacklog(2.0)
+                                           .epochMinutes(5)
+                                           .overProvision(0.35)
+                                           .rhoB(0.8)
+                                           .predictor("LC")
+                                           .seed(2020)
+                                           .build();
 
-    TablePrinter dispatch_table({"dispatcher", "mu*E[R]", "farm E[P] [W]",
-                                 "per-server [W]", "within budget?"});
-    for (const std::string name :
-         {"random", "round-robin", "JSQ", "packing"}) {
-        FarmRuntimeConfig config;
-        config.farmSize = 4;
-        config.dispatcher = name;
-        config.packingSpillBacklog = 2.0;
-        config.perServer.epochMinutes = 5;
-        config.perServer.overProvision = 0.35;
-        config.perServer.rhoB = 0.8;
-        const FarmRuntime runtime(xeon, dns, config);
-        LmsCusumPredictor predictor(10);
-        const FarmRuntimeResult result =
-            runtime.run(jobs, window, predictor);
+    ExperimentRunner dispatch_runner;
+    dispatch_runner.addGrid(
+        dispatch_base,
+        {sweepDispatchers(dispatcherRegistry().names())});
+    const auto dispatch_results = dispatch_runner.run();
 
+    TablePrinter dispatch_table({"dispatcher", "mu*E[R]",
+                                 "farm E[P] [W]", "per-server [W]",
+                                 "within budget?"});
+    for (const ScenarioResult &result : dispatch_results) {
         dispatch_table.addRow(
-            {name,
-             std::to_string(result.meanResponse() / dns.serviceMean),
-             std::to_string(result.avgPower()),
-             std::to_string(result.avgPower() / 4.0),
-             result.withinBudget() ? "yes" : "no"});
+            {result.spec.dispatcher,
+             std::to_string(result.normalizedMean),
+             std::to_string(result.avgPower),
+             std::to_string(result.extra("per_server_w")),
+             result.withinBudget ? "yes" : "no"});
     }
     dispatch_table.print(std::cout);
 
@@ -69,36 +69,45 @@ main()
                 "Farm extension (b): SleepScale vs race-to-halt across "
                 "farm sizes (flat rho = 0.2)");
 
-    const UtilizationTrace flat("flat", std::vector<double>(120, 0.2));
+    const ScenarioSpec scale_base = ScenarioBuilder("scaleout")
+                                        .engine(EngineKind::Farm)
+                                        .workload("dns")
+                                        .flatTrace(0.2, 120)
+                                        .dispatcher("random")
+                                        .epochMinutes(5)
+                                        .overProvision(0.35)
+                                        .rhoB(0.8)
+                                        .predictor("LC")
+                                        .build();
+
+    // Each farm size draws its own job stream (seed tied to the size),
+    // while SS and R2H at the same size share it for a fair comparison.
+    SweepAxis size_axis = customAxis("servers", {});
+    for (std::size_t size : {1u, 2u, 4u, 8u, 16u}) {
+        size_axis.points.emplace_back(
+            std::to_string(size), [size](ScenarioSpec &spec) {
+                spec.farmSize = size;
+                spec.seed = 3030 + size;
+            });
+    }
+
+    ExperimentRunner scale_runner;
+    scale_runner.addGrid(scale_base,
+                         {size_axis,
+                          sweepStrategies({"SS", "R2H(C6)"})});
+    const auto scale_results = scale_runner.run();
+
     TablePrinter scale_table({"servers", "SS per-server [W]",
                               "R2H(C6) per-server [W]", "savings"});
-    for (std::size_t size : {1u, 2u, 4u, 8u, 16u}) {
-        Rng farm_rng(3030 + size);
-        const auto farm_jobs =
-            generateFarmJobs(farm_rng, dns, flat, size);
-
-        FarmRuntimeConfig ss;
-        ss.farmSize = size;
-        ss.dispatcher = "random";
-        ss.perServer.epochMinutes = 5;
-        ss.perServer.overProvision = 0.35;
-        FarmRuntimeConfig r2h = ss;
-        r2h.perServer.fixedPolicy =
-            raceToHalt(LowPowerState::C6S0Idle);
-
-        LmsCusumPredictor p1(10), p2(10);
-        const FarmRuntimeResult ss_result =
-            FarmRuntime(xeon, dns, ss).run(farm_jobs, flat, p1);
-        const FarmRuntimeResult r2h_result =
-            FarmRuntime(xeon, dns, r2h).run(farm_jobs, flat, p2);
-
-        const double n = static_cast<double>(size);
-        const double ss_per = ss_result.avgPower() / n;
-        const double r2h_per = r2h_result.avgPower() / n;
+    for (std::size_t i = 0; i + 1 < scale_results.size(); i += 2) {
+        const ScenarioResult &ss = scale_results[i];
+        const ScenarioResult &r2h = scale_results[i + 1];
+        const double ss_per = ss.extra("per_server_w");
+        const double r2h_per = r2h.extra("per_server_w");
         std::ostringstream savings;
         savings << std::fixed << std::setprecision(1)
                 << 100.0 * (1.0 - ss_per / r2h_per) << "%";
-        scale_table.addRow({std::to_string(size),
+        scale_table.addRow({std::to_string(ss.spec.farmSize),
                             std::to_string(ss_per),
                             std::to_string(r2h_per), savings.str()});
     }

@@ -6,6 +6,9 @@
  * provisioning (α = 0). DNS-like server following the email-store trace
  * over the paper's 2AM-8PM window, ρ_b = 0.8 (budget µE[R] = 5).
  *
+ * The whole figure is one declarative scenario expanded against a
+ * T × predictor grid and executed in parallel by ExperimentRunner.
+ *
  * Expected shape: smaller T gives smaller response time; Offline is the
  * floor; LC ≈ NP ≤ LMS; without over-provisioning every causal predictor
  * exceeds the budget (the paper's point motivating α = 0.35).
@@ -13,23 +16,28 @@
 
 #include <iostream>
 
-#include "core/runtime.hh"
-#include "util/rng.hh"
-#include "util/table_printer.hh"
-#include "workload/job_stream.hh"
+#include "experiment/runner.hh"
 
 using namespace sleepscale;
 
 int
 main()
 {
-    const PlatformModel xeon = PlatformModel::xeon();
-    const WorkloadSpec dns = dnsWorkload();
+    const ScenarioSpec base = ScenarioBuilder("fig8")
+                                  .workload("dns")
+                                  .trace("es")
+                                  .traceSeed(20140614)
+                                  .window(2, 20)
+                                  .strategy("SS")
+                                  .overProvision(0.0)
+                                  .rhoB(0.8)
+                                  .seed(88)
+                                  .build();
 
-    const UtilizationTrace day = synthEmailStoreTrace(1, 20140614);
-    const UtilizationTrace window = day.dailyWindow(2, 20);
-    Rng rng(88);
-    const auto jobs = generateTraceDrivenJobs(rng, dns, window);
+    ExperimentRunner runner;
+    runner.addGrid(base,
+                   {sweepEpochMinutes({1, 5, 10, 15}),
+                    sweepPredictors({"LC", "LMS", "NP", "Offline"})});
 
     printBanner(std::cout,
                 "Figure 8: mean response vs predictor and update "
@@ -37,27 +45,15 @@ main()
     std::cout << "workload = DNS-like, trace = email store 2AM-8PM, "
                  "rho_b = 0.8, budget mu*E[R] = 5\n\n";
 
+    const auto results = runner.run();
+
     TablePrinter table({"T [min]", "predictor", "mu*E[R]",
                         "within budget?"});
-    for (unsigned T : {1u, 5u, 10u, 15u}) {
-        for (const std::string name : {"LC", "LMS", "NP", "Offline"}) {
-            RuntimeConfig config;
-            config.epochMinutes = T;
-            config.overProvision = 0.0;
-            config.rhoB = 0.8;
-            const SleepScaleRuntime runtime(xeon, dns, config);
-
-            const auto predictor =
-                makePredictor(name, 10, window.values());
-            const RuntimeResult result =
-                runtime.run(jobs, window, *predictor);
-
-            const double normalized =
-                result.meanResponse() / dns.serviceMean;
-            table.addRow({std::to_string(T), name,
-                          std::to_string(normalized),
-                          result.withinBudget() ? "yes" : "no"});
-        }
+    for (const ScenarioResult &result : results) {
+        table.addRow({std::to_string(result.spec.epochMinutes),
+                      result.spec.predictor,
+                      std::to_string(result.normalizedMean),
+                      result.withinBudget ? "yes" : "no"});
     }
     table.print(std::cout);
     std::cout << "\nExpected: response shrinks with smaller T; Offline "

@@ -5,6 +5,10 @@
  * the email-store trace (2AM-8PM window). All strategies run with the
  * LMS+CUSUM predictor (p = 10), T = 5 minutes, α = 0.35, ρ_b = 0.8.
  *
+ * One declarative scenario, expanded over the registered strategies and
+ * executed in parallel; every grid point shares the base seed, so all
+ * strategies see identical job streams as in the paper.
+ *
  * Expected (Section 6.1): SS achieves the lowest power while keeping the
  * mean response within the µE[R] = 5 budget; DVFS-only shows the largest
  * response times (it consumes the whole budget and has no headroom);
@@ -16,22 +20,31 @@
 #include <sstream>
 
 #include "core/strategies.hh"
-#include "util/rng.hh"
-#include "util/table_printer.hh"
-#include "workload/job_stream.hh"
+#include "experiment/runner.hh"
 
 using namespace sleepscale;
 
 int
 main()
 {
-    const PlatformModel xeon = PlatformModel::xeon();
-    const WorkloadSpec dns = dnsWorkload();
+    const ScenarioSpec base = ScenarioBuilder("fig9")
+                                  .workload("dns")
+                                  .trace("es")
+                                  .traceSeed(20140614)
+                                  .window(2, 20)
+                                  .epochMinutes(5)
+                                  .overProvision(0.35)
+                                  .rhoB(0.8)
+                                  .predictor("LC")
+                                  .seed(99)
+                                  .build();
 
-    const UtilizationTrace day = synthEmailStoreTrace(1, 20140614);
-    const UtilizationTrace window = day.dailyWindow(2, 20);
-    Rng rng(99);
-    const auto jobs = generateTraceDrivenJobs(rng, dns, window);
+    std::vector<std::string> strategies;
+    for (StrategyKind kind : allStrategies)
+        strategies.push_back(toString(kind));
+
+    ExperimentRunner runner;
+    runner.addGrid(base, {sweepStrategies(strategies)});
 
     printBanner(std::cout,
                 "Figure 9: SleepScale vs conventional strategies");
@@ -39,36 +52,24 @@ main()
                  "LC predictor (p = 10), T = 5 min,\nalpha = 0.35, "
                  "rho_b = 0.8 (budget mu*E[R] = 5)\n\n";
 
+    const auto results = runner.run();
+    const double ss_power = results.front().avgPower;
+
     TablePrinter table({"strategy", "mu*E[R]", "p95/mean svc",
                         "E[P] [W]", "vs SS power", "within budget?"});
-
-    double ss_power = 0.0;
-    std::vector<std::vector<std::string>> rows;
-    for (StrategyKind kind : allStrategies) {
-        const RuntimeConfig config =
-            makeStrategyConfig(kind, 5, 0.35, 0.8);
-        const SleepScaleRuntime runtime(xeon, dns, config);
-        LmsCusumPredictor predictor(10);
-        const RuntimeResult result = runtime.run(jobs, window, predictor);
-
-        if (kind == StrategyKind::SleepScale)
-            ss_power = result.avgPower();
-        rows.push_back(
-            {toString(kind),
-             std::to_string(result.meanResponse() / dns.serviceMean),
-             std::to_string(result.p95Response() / dns.serviceMean),
-             std::to_string(result.avgPower()),
-             "", // filled below once SS power is known
-             result.withinBudget() ? "yes" : "no"});
-    }
-    for (auto &row : rows) {
-        const double power = std::stod(row[3]);
-        const double delta = 100.0 * (power / ss_power - 1.0);
+    for (const ScenarioResult &result : results) {
+        const double service_mean =
+            result.meanResponse / result.normalizedMean;
+        const double delta =
+            100.0 * (result.avgPower / ss_power - 1.0);
         std::ostringstream cell;
         cell << (delta >= 0 ? "+" : "") << std::fixed
              << std::setprecision(1) << delta << "%";
-        row[4] = cell.str();
-        table.addRow(row);
+        table.addRow({result.spec.strategy,
+                      std::to_string(result.normalizedMean),
+                      std::to_string(result.p95Response / service_mean),
+                      std::to_string(result.avgPower), cell.str(),
+                      result.withinBudget ? "yes" : "no"});
     }
     table.print(std::cout);
 

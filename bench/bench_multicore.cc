@@ -1,7 +1,8 @@
 /**
  * @file
  * Extension bench (paper Section 7 future work, multi-core direction):
- * package-gated sleep on a multi-core part. Two experiments:
+ * package-gated sleep on a multi-core part, both panels as declarative
+ * sweep grids over the multicore engine:
  *
  *  (a) Package-delay sweep: how long to wait for *joint* idleness
  *      before dropping the platform to S3 — the multi-core analogue of
@@ -15,18 +16,13 @@
 #include <iostream>
 #include <limits>
 
-#include "bench_util.hh"
-#include "multicore/multicore_sim.hh"
-#include "util/table_printer.hh"
+#include "experiment/runner.hh"
 
 using namespace sleepscale;
-using namespace sleepscale::bench;
 
 int
 main()
 {
-    const PlatformModel xeon = PlatformModel::xeon();
-    const WorkloadSpec dns = dnsWorkload().idealized();
     constexpr double inf = std::numeric_limits<double>::infinity();
 
     // ------------ (a) package-delay sweep, 4 cores ------------
@@ -34,28 +30,38 @@ main()
                 "Multicore (a): package S3 delay sweep (4 cores, "
                 "DNS-like, per-core rho = 0.1)");
 
-    Rng rng(60001);
-    ExponentialDist gaps(dns.serviceMean / (0.1 * 4)), sizes(
-        dns.serviceMean);
-    const auto jobs = generateJobs(rng, gaps, sizes, 60000);
+    const ScenarioSpec delay_base =
+        ScenarioBuilder("mc")
+            .engine(EngineKind::Multicore)
+            .workload("dns")
+            .idealizedWorkload()
+            .cores(4)
+            .rho(0.1)
+            .jobCount(60000)
+            .frequency(1.0)
+            .coreState(LowPowerState::C6S0Idle)
+            .seed(60001)
+            .build();
+
+    ExperimentRunner delay_runner;
+    delay_runner.addGrid(
+        delay_base,
+        {sweepPackageSleepDelays({0.0, 0.5, 2.0, 10.0, inf})});
+    const auto delay_results = delay_runner.run();
 
     TablePrinter delay_table({"package delay [s]", "mu*E[R]",
                               "E[P] [W]", "S3 residency",
                               "package wakes"});
-    for (double delay : {0.0, 0.5, 2.0, 10.0, inf}) {
-        MulticorePolicy policy;
-        policy.frequency = 1.0;
-        policy.corePlan = SleepPlan::immediate(LowPowerState::C6S0Idle);
-        policy.packageSleepDelay = delay;
-        const MulticoreStats stats = evaluateMulticorePolicy(
-            xeon, dns.scaling, 4, policy, jobs);
+    for (const ScenarioResult &result : delay_results) {
+        const double delay = result.spec.packageSleepDelay;
         delay_table.addRow(
             {std::isfinite(delay) ? std::to_string(delay).substr(0, 4)
                                   : "inf",
-             std::to_string(stats.response.mean() / dns.serviceMean),
-             std::to_string(stats.avgPower()),
-             std::to_string(stats.packageS3Time / stats.elapsed),
-             std::to_string(stats.packageWakes)});
+             std::to_string(result.normalizedMean),
+             std::to_string(result.avgPower),
+             std::to_string(result.extra("s3_residency")),
+             std::to_string(static_cast<std::uint64_t>(
+                 result.extra("package_wakes")))});
     }
     delay_table.print(std::cout);
     std::cout << "\nExpected: immediate S3 triggers a wake storm "
@@ -71,27 +77,42 @@ main()
                 "Multicore (b): cores vs joint idleness (total load = "
                 "0.8 of one core)");
 
+    const ScenarioSpec core_base = ScenarioBuilder("mc")
+                                       .engine(EngineKind::Multicore)
+                                       .workload("dns")
+                                       .idealizedWorkload()
+                                       .jobCount(60000)
+                                       .frequency(1.0)
+                                       .coreState(
+                                           LowPowerState::C6S0Idle)
+                                       .packageSleepDelay(1.0)
+                                       .seed(60002)
+                                       .build();
+
+    // Total load pinned to 0.8 of one core: per-core rho shrinks as
+    // the core count grows, so the same job stream spreads thinner.
+    SweepAxis core_axis = customAxis("cores", {});
+    for (std::size_t cores : {1u, 2u, 4u, 8u}) {
+        core_axis.points.emplace_back(
+            std::to_string(cores), [cores](ScenarioSpec &spec) {
+                spec.cores = cores;
+                spec.rho = 0.8 / static_cast<double>(cores);
+            });
+    }
+
+    ExperimentRunner core_runner;
+    core_runner.addGrid(core_base, {core_axis});
+    const auto core_results = core_runner.run();
+
     TablePrinter core_table({"cores", "mu*E[R]", "E[P] [W]",
                              "S3 residency", "per-core busy"});
-    for (std::size_t cores : {1u, 2u, 4u, 8u}) {
-        Rng core_rng(60002);
-        ExponentialDist core_gaps(dns.serviceMean / 0.8);
-        ExponentialDist core_sizes(dns.serviceMean);
-        const auto core_jobs =
-            generateJobs(core_rng, core_gaps, core_sizes, 60000);
-
-        MulticorePolicy policy;
-        policy.corePlan = SleepPlan::immediate(LowPowerState::C6S0Idle);
-        policy.packageSleepDelay = 1.0;
-        const MulticoreStats stats = evaluateMulticorePolicy(
-            xeon, dns.scaling, cores, policy, core_jobs);
+    for (const ScenarioResult &result : core_results) {
         core_table.addRow(
-            {std::to_string(cores),
-             std::to_string(stats.response.mean() / dns.serviceMean),
-             std::to_string(stats.avgPower()),
-             std::to_string(stats.packageS3Time / stats.elapsed),
-             std::to_string(0.8 / static_cast<double>(cores))
-                 .substr(0, 5)});
+            {std::to_string(result.spec.cores),
+             std::to_string(result.normalizedMean),
+             std::to_string(result.avgPower),
+             std::to_string(result.extra("s3_residency")),
+             std::to_string(result.spec.rho).substr(0, 5)});
     }
     core_table.print(std::cout);
     std::cout << "\nExpected: response improves sharply with cores "

@@ -10,6 +10,7 @@
 
 #include "analytic/mm1_sleep.hh"
 #include "core/policy_manager.hh"
+#include "experiment/runner.hh"
 #include "power/platform_model.hh"
 #include "sim/server_sim.hh"
 #include "util/rng.hh"
@@ -107,5 +108,54 @@ BM_AnalyticSingleEvaluation(benchmark::State &state)
     }
 }
 BENCHMARK(BM_AnalyticSingleEvaluation);
+
+/** Sweep-grid expansion cost in the experiment layer (pure API
+ * overhead: a 10 x 10 x 10 grid of specs, no simulation). */
+void
+BM_ExperimentGridExpansion(benchmark::State &state)
+{
+    const ScenarioSpec base = ScenarioBuilder("grid")
+                                  .workload("dns")
+                                  .flatTrace(0.1, 30)
+                                  .build();
+    std::vector<unsigned> epochs;
+    std::vector<double> alphas;
+    SweepAxis seeds = customAxis("seed", {});
+    for (unsigned i = 1; i <= 10; ++i) {
+        epochs.push_back(i);
+        alphas.push_back(0.05 * i);
+        seeds.points.emplace_back(
+            std::to_string(i),
+            [i](ScenarioSpec &spec) { spec.seed = i; });
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            expandGrid(base, {sweepEpochMinutes(epochs),
+                              sweepOverProvision(alphas), seeds}));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_ExperimentGridExpansion);
+
+/** One fixed-policy scenario end-to-end through the unified entry
+ * point (trace synthesis + job generation + epoch loop), the per-
+ * scenario cost a sweep pays beyond the policy search itself. */
+void
+BM_ExperimentScenarioFixedPolicy(benchmark::State &state)
+{
+    const ScenarioSpec spec = ScenarioBuilder("r2h day")
+                                  .workload("dns")
+                                  .flatTrace(0.1, 20)
+                                  .strategy("R2H(C6)")
+                                  .predictor("NP")
+                                  .seed(4242)
+                                  .build();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ExperimentRunner::runScenario(spec));
+    }
+}
+BENCHMARK(BM_ExperimentScenarioFixedPolicy);
 
 } // namespace

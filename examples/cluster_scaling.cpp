@@ -2,13 +2,13 @@
  * @file
  * Cluster scaling: put SleepScale behind a load balancer.
  *
- * Demonstrates the farm extension — four DNS-like servers behind a
- * dispatcher of your choice, each power-managed by SleepScale — and
- * shows the power/response trade the dispatcher controls.
+ * The farm extension as one declarative scenario — N DNS-like servers
+ * behind a registered dispatcher, each power-managed by SleepScale —
+ * executed through the unified experiment API.
  *
  *   ./cluster_scaling [dispatcher] [servers]
  *
- *   dispatcher  random | round-robin | JSQ | packing  (default packing)
+ *   dispatcher  a registered dispatcher name          (default packing)
  *   servers     farm size                             (default 4)
  */
 
@@ -16,10 +16,9 @@
 #include <iostream>
 #include <string>
 
-#include "farm/farm_runtime.hh"
-#include "util/rng.hh"
-#include "util/table_printer.hh"
-#include "workload/job_stream.hh"
+#include "experiment/runner.hh"
+#include "farm/dispatcher.hh"
+#include "util/error.hh"
 
 using namespace sleepscale;
 
@@ -34,48 +33,54 @@ main(int argc, char **argv)
         return 1;
     }
 
-    const PlatformModel platform = PlatformModel::xeon();
-    const WorkloadSpec workload = dnsWorkload();
-    const UtilizationTrace trace =
-        synthEmailStoreTrace(1, 99).dailyWindow(2, 14);
+    try {
+        const ScenarioSpec spec =
+            ScenarioBuilder("cluster " + dispatcher)
+                .engine(EngineKind::Farm)
+                .workload("dns")
+                .trace("es")
+                .traceSeed(99)
+                .window(2, 14)
+                .farmSize(servers)
+                .dispatcher(dispatcher)
+                .packingSpillBacklog(2.0)
+                .epochMinutes(5)
+                .overProvision(0.35)
+                .rhoB(0.8)
+                .predictor("LC")
+                .seed(17)
+                .build();
 
-    Rng rng(17);
-    const auto jobs = generateFarmJobs(rng, workload, trace, servers);
-    std::cout << servers << " servers, dispatcher = " << dispatcher
-              << ", " << jobs.size() << " jobs over "
-              << trace.duration() / 3600.0 << " h (per-server load "
-              << trace.meanUtilization() << ")\n\n";
+        const ScenarioResult result =
+            ExperimentRunner::runScenario(spec);
 
-    FarmRuntimeConfig config;
-    config.farmSize = servers;
-    config.dispatcher = dispatcher;
-    config.packingSpillBacklog = 2.0;
-    config.perServer.epochMinutes = 5;
-    config.perServer.overProvision = 0.35;
-    config.perServer.rhoB = 0.8;
+        std::cout << servers << " servers, dispatcher = " << dispatcher
+                  << ", " << result.jobs << " jobs over "
+                  << result.elapsed / 3600.0 << " h\n\n";
 
-    const FarmRuntime runtime(platform, workload, config);
-    LmsCusumPredictor predictor(10);
-    const FarmRuntimeResult result = runtime.run(jobs, trace, predictor);
+        TablePrinter table({"metric", "value"});
+        table.addRow({std::string("farm power"),
+                      std::to_string(result.avgPower) + " W"});
+        table.addRow({std::string("per-server power"),
+                      std::to_string(result.extra("per_server_w")) +
+                          " W"});
+        table.addRow({std::string("mu*E[R]"),
+                      std::to_string(result.normalizedMean)});
+        table.addRow({std::string("within budget"),
+                      result.withinBudget ? "yes" : "no"});
+        table.print(std::cout);
 
-    TablePrinter table({"metric", "value"});
-    table.addRow({std::string("farm power"),
-                  std::to_string(result.avgPower()) + " W"});
-    table.addRow({std::string("per-server power"),
-                  std::to_string(result.avgPower() /
-                                 static_cast<double>(servers)) +
-                      " W"});
-    table.addRow({std::string("mu*E[R]"),
-                  std::to_string(result.meanResponse() /
-                                 workload.serviceMean)});
-    table.addRow({std::string("within budget"),
-                  result.withinBudget() ? "yes" : "no"});
-    table.print(std::cout);
-
-    std::cout << "\nJobs per server:";
-    for (std::uint64_t count : result.jobsPerServer)
-        std::cout << ' ' << count;
-    std::cout << "\n(packing concentrates work so lightly used servers "
-                 "sleep; JSQ balances for\nresponse time — try both)\n";
-    return 0;
+        std::cout << "\nJobs per server:";
+        for (std::uint64_t count : result.jobsPerServer)
+            std::cout << ' ' << count;
+        std::cout << '\n';
+        std::cout << "(packing concentrates work so lightly used "
+                     "servers sleep; JSQ balances for\nresponse time — "
+                     "registered dispatchers: "
+                  << dispatcherRegistry().namesCsv() << ")\n";
+        return 0;
+    } catch (const ConfigError &error) {
+        std::cerr << error.what() << '\n';
+        return 1;
+    }
 }

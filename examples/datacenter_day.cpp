@@ -5,94 +5,105 @@
  * miniature), printing an hour-by-hour picture of what the runtime
  * decided and the end-of-day comparison.
  *
+ * Both strategies are one declarative scenario each; the hour-by-hour
+ * view reads straight from the captured per-epoch table.
+ *
  *   ./datacenter_day
  */
 
+#include <algorithm>
 #include <iostream>
+#include <string>
 
-#include "core/strategies.hh"
-#include "util/rng.hh"
-#include "util/table_printer.hh"
-#include "workload/job_stream.hh"
+#include "experiment/runner.hh"
+#include "util/error.hh"
 
 using namespace sleepscale;
 
 int
 main()
 {
-    const PlatformModel platform = PlatformModel::xeon();
-    const WorkloadSpec workload = dnsWorkload();
+    try {
+        const ScenarioSpec base = ScenarioBuilder("day")
+                                      .workload("dns")
+                                      .trace("es")
+                                      .traceSeed(424242)
+                                      .window(2, 20)
+                                      .epochMinutes(5)
+                                      .overProvision(0.35)
+                                      .rhoB(0.8)
+                                      .predictor("LC")
+                                      .seed(5)
+                                      .captureEpochs()
+                                      .build();
 
-    // One synthetic email-store day, evaluated over the paper's 2AM-8PM
-    // window (the nightly backup window is operated separately).
-    const UtilizationTrace day = synthEmailStoreTrace(1, 424242);
-    const UtilizationTrace window = day.dailyWindow(2, 20);
-    Rng rng(5);
-    const auto jobs = generateTraceDrivenJobs(rng, workload, window);
-    std::cout << "email-store day, 2AM-8PM window: "
-              << jobs.size() << " jobs, mean load "
-              << window.meanUtilization() << ", peak "
-              << window.peakUtilization() << "\n\n";
+        ExperimentRunner runner;
+        runner.addGrid(base, {sweepStrategies({"SS", "R2H(C6)"})});
+        const auto results = runner.run();
+        const ScenarioResult &ss = results[0];
+        const ScenarioResult &r2h = results[1];
 
-    // SleepScale with the paper's runtime settings.
-    const RuntimeConfig ss_config = makeStrategyConfig(
-        StrategyKind::SleepScale, 5, 0.35, 0.8);
-    const SleepScaleRuntime ss_runtime(platform, workload, ss_config);
-    LmsCusumPredictor predictor(10);
-    const RuntimeResult ss = ss_runtime.run(jobs, window, predictor);
+        std::cout << "email-store day, 2AM-8PM window: " << ss.jobs
+                  << " jobs\n\n";
 
-    // Hour-by-hour view of the controller's behaviour.
-    TablePrinter hours({"hour", "load", "policy (last epoch)",
-                        "mu*E[R]", "E[P] [W]"});
-    const std::size_t epochs_per_hour = 60 / ss_config.epochMinutes;
-    for (std::size_t h = 0; h * epochs_per_hour < ss.epochs.size();
-         ++h) {
-        SimStats hour_stats;
-        double load = 0.0;
-        std::size_t count = 0;
-        const EpochReport *last = nullptr;
-        for (std::size_t e = h * epochs_per_hour;
-             e < std::min((h + 1) * epochs_per_hour, ss.epochs.size());
-             ++e) {
-            hour_stats.merge(ss.epochs[e].stats);
-            load += ss.epochs[e].measuredUtilization;
-            last = &ss.epochs[e];
-            ++count;
+        // Hour-by-hour view of the controller's behaviour, from the
+        // captured per-epoch CSV.
+        const auto start = ss.epochs.column("start_s");
+        const auto util = ss.epochs.column("measured_util");
+        const auto freq = ss.epochs.column("frequency");
+        const auto power = ss.epochs.column("avg_power_w");
+        const auto response = ss.epochs.column("mean_response_s");
+        const auto completions = ss.epochs.column("completions");
+        const double service_mean = ss.meanResponse / ss.normalizedMean;
+
+        TablePrinter hours({"hour", "load", "f (last epoch)", "mu*E[R]",
+                            "E[P] [W]"});
+        const std::size_t epochs_per_hour =
+            60 / base.epochMinutes;
+        for (std::size_t h = 0; h * epochs_per_hour < start.size();
+             ++h) {
+            const std::size_t lo = h * epochs_per_hour;
+            const std::size_t hi = std::min(
+                (h + 1) * epochs_per_hour, start.size());
+            // Responses are job-weighted across the hour's epochs
+            // (epochs are equal length, so power averages directly).
+            double load = 0.0, hour_power = 0.0;
+            double hour_response = 0.0, hour_jobs = 0.0;
+            for (std::size_t e = lo; e < hi; ++e) {
+                load += util[e];
+                hour_power += power[e];
+                hour_response += response[e] * completions[e];
+                hour_jobs += completions[e];
+            }
+            const double n = static_cast<double>(hi - lo);
+            const double mean_response =
+                hour_jobs > 0.0 ? hour_response / hour_jobs : 0.0;
+            hours.addRow(
+                {std::to_string(h + 2) + ":00",
+                 std::to_string(load / n).substr(0, 4),
+                 std::to_string(freq[hi - 1]).substr(0, 4),
+                 std::to_string(mean_response / service_mean),
+                 std::to_string(hour_power / n)});
         }
-        if (!count || !last)
-            continue;
-        hours.addRow(
-            {std::to_string(h + 2) + ":00",
-             std::to_string(load / static_cast<double>(count))
-                 .substr(0, 4),
-             last->policy.toString(),
-             std::to_string(hour_stats.meanResponse() /
-                            workload.serviceMean),
-             std::to_string(hour_stats.avgPower())});
+        hours.print(std::cout);
+
+        // The end-of-day comparison against race-to-halt.
+        const double day_hours = ss.elapsed / 3600.0;
+        std::cout << "\nEnd of day:\n";
+        std::cout << "  SleepScale : " << ss.avgPower << " W avg, "
+                  << ss.avgPower * day_hours / 1000.0
+                  << " kWh, mu*E[R] = " << ss.normalizedMean
+                  << (ss.withinBudget ? " (within budget)\n"
+                                      : " (over budget)\n");
+        std::cout << "  R2H(C6)    : " << r2h.avgPower << " W avg, "
+                  << r2h.avgPower * day_hours / 1000.0
+                  << " kWh, mu*E[R] = " << r2h.normalizedMean << "\n";
+        std::cout << "  Savings    : "
+                  << 100.0 * (1.0 - ss.avgPower / r2h.avgPower)
+                  << "% power\n";
+        return 0;
+    } catch (const ConfigError &error) {
+        std::cerr << error.what() << '\n';
+        return 1;
     }
-    hours.print(std::cout);
-
-    // The end-of-day comparison against race-to-halt.
-    const RuntimeConfig r2h_config = makeStrategyConfig(
-        StrategyKind::RaceToHaltC6, 5, 0.35, 0.8);
-    const SleepScaleRuntime r2h_runtime(platform, workload, r2h_config);
-    LmsCusumPredictor r2h_predictor(10);
-    const RuntimeResult r2h =
-        r2h_runtime.run(jobs, window, r2h_predictor);
-
-    const double day_hours = ss.total.elapsed() / 3600.0;
-    std::cout << "\nEnd of day:\n";
-    std::cout << "  SleepScale : " << ss.avgPower() << " W avg, "
-              << ss.avgPower() * day_hours / 1000.0 << " kWh, mu*E[R] = "
-              << ss.meanResponse() / workload.serviceMean
-              << (ss.withinBudget() ? " (within budget)\n"
-                                    : " (over budget)\n");
-    std::cout << "  R2H(C6)    : " << r2h.avgPower() << " W avg, "
-              << r2h.avgPower() * day_hours / 1000.0
-              << " kWh, mu*E[R] = "
-              << r2h.meanResponse() / workload.serviceMean << "\n";
-    std::cout << "  Savings    : "
-              << 100.0 * (1.0 - ss.avgPower() / r2h.avgPower())
-              << "% power\n";
-    return 0;
 }

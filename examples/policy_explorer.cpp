@@ -22,33 +22,16 @@
 #include "analytic/mm1_sleep.hh"
 #include "core/policy_manager.hh"
 #include "power/platform_model.hh"
+#include "util/error.hh"
 #include "util/rng.hh"
 #include "util/table_printer.hh"
 #include "workload/job_stream.hh"
 
 using namespace sleepscale;
 
-namespace {
-
-WorkloadSpec
-workloadByName(const std::string &name)
-{
-    if (name == "dns")
-        return dnsWorkload();
-    if (name == "mail")
-        return mailWorkload();
-    if (name == "google")
-        return googleWorkload();
-    std::cerr << "unknown workload '" << name
-              << "' (expected dns | mail | google)\n";
-    std::exit(1);
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
-{
+try {
     const std::string name = argc > 1 ? argv[1] : "dns";
     const double rho = argc > 2 ? std::atof(argv[2]) : 0.3;
     const double rho_b = argc > 3 ? std::atof(argv[3]) : 0.8;
@@ -115,4 +98,7 @@ main(int argc, char **argv)
               << ideal.policy.toString() << " -> "
               << ideal.predictedPower << " W\n";
     return 0;
+} catch (const ConfigError &error) {
+    std::cerr << error.what() << '\n';
+    return 1;
 }

@@ -1,73 +1,78 @@
 /**
  * @file
- * Quickstart: evaluate power-management policies for one server.
+ * Quickstart: the declarative experiment API in one screen.
  *
- * Builds the paper's Xeon-class power model, synthesizes a DNS-like
- * workload at 10% utilization, and compares three policies end to end:
- * race-to-halt, DVFS-only, and the jointly optimized SleepScale choice.
+ * Describes a scenario once — workload, trace, platform, QoS — then
+ * sweeps the named power-management strategies over it through
+ * ExperimentRunner. Every engine (single server, farm, multicore) and
+ * every component (strategy, predictor, dispatcher, workload, platform)
+ * is selected by registry name, so a new comparison is a new axis, not
+ * a new driver loop.
+ *
+ * This example doubles as the canonical smoke test of the experiment
+ * API: it runs in ctest, so regressions in the declarative entry point
+ * surface in tier-1.
  *
  *   ./quickstart
  */
 
+#include <algorithm>
 #include <iostream>
 
-#include "core/policy_manager.hh"
-#include "power/platform_model.hh"
-#include "sim/server_sim.hh"
-#include "util/rng.hh"
-#include "util/table_printer.hh"
-#include "workload/job_stream.hh"
+#include "core/strategies.hh"
+#include "experiment/runner.hh"
+#include "util/error.hh"
 
 using namespace sleepscale;
 
 int
 main()
 {
-    // 1. A platform: Table 2's Xeon-class server.
-    const PlatformModel platform = PlatformModel::xeon();
+    try {
+        // One declarative scenario: a DNS-like server at a flat 10%
+        // offered load on the paper's Xeon-class platform, managed
+        // every 5 minutes against the rho_b = 0.8 QoS budget.
+        const ScenarioSpec base = ScenarioBuilder("quickstart")
+                                      .workload("dns")
+                                      .platform("xeon")
+                                      .flatTrace(0.1, 60)
+                                      .epochMinutes(5)
+                                      .overProvision(0.0)
+                                      .rhoB(0.8)
+                                      .predictor("LC")
+                                      .seed(1)
+                                      .build();
 
-    // 2. A workload: DNS-like lookups (194 ms mean service) offered at
-    //    10% utilization; 20,000 jobs of Poisson/exponential traffic.
-    const WorkloadSpec workload = dnsWorkload();
-    Rng rng(1);
-    const auto jobs = generateWorkloadJobs(rng, workload, 0.1, 20000);
+        // Sweep the registered strategies over it, in parallel.
+        ExperimentRunner runner;
+        runner.addGrid(
+            base,
+            {sweepStrategies({"SS", "DVFS", "R2H(C6)"})});
+        const auto results = runner.run();
 
-    // 3. A QoS target: the paper's baseline constraint for a peak
-    //    design utilization of 0.8 -> mean response <= 5 service times.
-    const QosConstraint qos =
-        QosConstraint::fromBaselineMean(0.8, workload.serviceMean);
+        resultsTable(results).print(std::cout);
 
-    // 4. Hand-picked policies, evaluated through the queueing core.
-    TablePrinter table(
-        {"policy", "mu*E[R]", "E[P] [W]", "meets QoS?"});
-    auto report = [&](const std::string &label, const Policy &policy) {
-        const PolicyEvaluation eval =
-            evaluatePolicy(platform, workload.scaling, policy, jobs);
-        table.addRow({label,
-                      std::to_string(eval.meanResponse() /
-                                     workload.serviceMean),
-                      std::to_string(eval.avgPower()),
-                      qos.satisfiedBy(eval.stats) ? "yes" : "no"});
-    };
-    report("race-to-halt (f=1, C6S0(i))",
-           raceToHalt(LowPowerState::C6S0Idle));
-    report("DVFS-only (f=0.5, idle C0(i))",
-           Policy{0.5, SleepPlan::immediate(LowPowerState::C0IdleS0Idle)});
+        // The uniform result schema keeps comparisons one-liners.
+        const ScenarioResult &ss = results.front();
+        double worst = 0.0;
+        for (const ScenarioResult &result : results)
+            worst = std::max(worst, result.avgPower);
+        std::cout << "\nSleepScale (SS) runs at " << ss.avgPower
+                  << " W, " << 100.0 * (1.0 - ss.avgPower / worst)
+                  << "% below the most expensive strategy, over "
+                  << ss.jobs << " jobs.\n";
+        std::cout << "Registered strategies: "
+                  << strategyRegistry().namesCsv() << "\n";
 
-    // 5. The SleepScale way: let the policy manager search the joint
-    //    (frequency x sleep state) space for the cheapest QoS-feasible
-    //    policy.
-    const PolicyManager manager(
-        platform, workload.scaling,
-        PolicySpace::allStates(PolicySpace::frequencyGrid(0.15, 1.0,
-                                                          0.01)),
-        qos);
-    const PolicyDecision best = manager.selectFromLog(jobs);
-    report("SleepScale: " + best.policy.toString(), best.policy);
-
-    table.print(std::cout);
-    std::cout << "\nSleepScale picked " << best.policy.toString()
-              << " after characterizing " << best.evaluated
-              << " candidates.\n";
-    return 0;
+        // Sanity for ctest: SS must beat race-to-halt on power while
+        // the comparison stayed on identical job streams.
+        if (!(ss.avgPower < worst) || ss.jobs == 0) {
+            std::cerr << "quickstart: unexpected experiment outcome\n";
+            return 1;
+        }
+        return 0;
+    } catch (const ConfigError &error) {
+        std::cerr << error.what() << '\n';
+        return 1;
+    }
 }

@@ -241,22 +241,38 @@ OfflinePredictor::observe(std::size_t minute, double utilization)
 
 // ---------------------------------------------------------------- factory
 
+Registry<PredictorFactory> &
+predictorRegistry()
+{
+    static Registry<PredictorFactory> registry = [] {
+        Registry<PredictorFactory> r("predictor");
+        r.add("NP", [](const PredictorContext &) {
+            return std::make_unique<NaivePreviousPredictor>();
+        });
+        r.add("LMS", [](const PredictorContext &ctx) {
+            return std::make_unique<LmsPredictor>(ctx.history);
+        });
+        r.add("LC", [](const PredictorContext &ctx) {
+            return std::make_unique<LmsCusumPredictor>(ctx.history);
+        });
+        r.add("Offline", [](const PredictorContext &ctx) {
+            fatalIf(ctx.trace.empty(),
+                    "predictor 'Offline' needs a trace");
+            return std::make_unique<OfflinePredictor>(ctx.trace);
+        });
+        return r;
+    }();
+    return registry;
+}
+
 std::unique_ptr<UtilizationPredictor>
 makePredictor(const std::string &name, std::size_t history,
               const std::vector<double> &trace)
 {
-    if (name == "NP")
-        return std::make_unique<NaivePreviousPredictor>();
-    if (name == "LMS")
-        return std::make_unique<LmsPredictor>(history);
-    if (name == "LC")
-        return std::make_unique<LmsCusumPredictor>(history);
-    if (name == "Offline") {
-        fatalIf(trace.empty(),
-                "makePredictor: the offline predictor needs a trace");
-        return std::make_unique<OfflinePredictor>(trace);
-    }
-    fatal("makePredictor: unknown predictor '" + name + "'");
+    PredictorContext ctx;
+    ctx.history = history;
+    ctx.trace = trace;
+    return predictorRegistry().get(name)(ctx);
 }
 
 } // namespace sleepscale

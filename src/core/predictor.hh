@@ -12,9 +12,12 @@
 #define SLEEPSCALE_CORE_PREDICTOR_HH
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "util/registry.hh"
 
 namespace sleepscale {
 
@@ -165,7 +168,27 @@ class OfflinePredictor final : public UtilizationPredictor
     std::vector<double> _trace;
 };
 
-/** Factory by name: "NP", "LMS", "LC", or "Offline" (needs a trace). */
+/** Inputs available to a predictor factory. */
+struct PredictorContext
+{
+    /** Tap/history length for the adaptive predictors. */
+    std::size_t history = 10;
+
+    /** True per-minute trace (only the offline genie reads it). */
+    std::vector<double> trace;
+};
+
+/** Factory signature stored in the predictor registry. */
+using PredictorFactory = std::function<std::unique_ptr<UtilizationPredictor>(
+    const PredictorContext &)>;
+
+/**
+ * The predictor registry. Ships with "NP", "LMS", "LC", and "Offline";
+ * extensions register additional factories under new names.
+ */
+Registry<PredictorFactory> &predictorRegistry();
+
+/** Construct a registered predictor by name; fatal() on unknown names. */
 std::unique_ptr<UtilizationPredictor>
 makePredictor(const std::string &name, std::size_t history = 10,
               const std::vector<double> &trace = {});

@@ -55,4 +55,27 @@ makeStrategyConfig(StrategyKind kind, unsigned epoch_minutes,
     return config;
 }
 
+Registry<StrategyFactory> &
+strategyRegistry()
+{
+    static Registry<StrategyFactory> registry = [] {
+        Registry<StrategyFactory> r("strategy");
+        for (StrategyKind kind : allStrategies) {
+            r.add(toString(kind), [kind](const StrategyKnobs &knobs) {
+                return makeStrategyConfig(kind, knobs.epochMinutes,
+                                          knobs.overProvision, knobs.rhoB,
+                                          knobs.qosMetric);
+            });
+        }
+        return r;
+    }();
+    return registry;
+}
+
+RuntimeConfig
+strategyConfigByName(const std::string &name, const StrategyKnobs &knobs)
+{
+    return strategyRegistry().get(name)(knobs);
+}
+
 } // namespace sleepscale

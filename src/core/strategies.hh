@@ -18,9 +18,11 @@
 #define SLEEPSCALE_CORE_STRATEGIES_HH
 
 #include <array>
+#include <functional>
 #include <string>
 
 #include "core/runtime.hh"
+#include "util/registry.hh"
 
 namespace sleepscale {
 
@@ -58,6 +60,29 @@ RuntimeConfig makeStrategyConfig(StrategyKind kind, unsigned epoch_minutes,
                                  double over_provision, double rho_b,
                                  QosMetric qos_metric =
                                      QosMetric::MeanResponse);
+
+/** Policy-management knobs a strategy factory specializes. */
+struct StrategyKnobs
+{
+    unsigned epochMinutes = 5;      ///< Policy update interval T.
+    double overProvision = 0.0;     ///< Over-provisioning factor α.
+    double rhoB = 0.8;              ///< Peak design utilization ρ_b.
+    QosMetric qosMetric = QosMetric::MeanResponse;
+};
+
+/** Factory signature stored in the strategy registry. */
+using StrategyFactory = std::function<RuntimeConfig(const StrategyKnobs &)>;
+
+/**
+ * The strategy registry. Ships with the paper's Figure 9 lineup — "SS",
+ * "SS(C3)", "DVFS", "R2H(C3)", "R2H(C6)" — keyed by their toString()
+ * labels; extensions register additional configurations under new names.
+ */
+Registry<StrategyFactory> &strategyRegistry();
+
+/** Build a registered strategy's RuntimeConfig; fatal() on unknown names. */
+RuntimeConfig strategyConfigByName(const std::string &name,
+                                   const StrategyKnobs &knobs);
 
 } // namespace sleepscale
 

@@ -1,0 +1,525 @@
+#include "experiment/runner.hh"
+
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "core/predictor.hh"
+#include "core/runtime.hh"
+#include "core/strategies.hh"
+#include "farm/farm_runtime.hh"
+#include "multicore/multicore_sim.hh"
+#include "power/platform_model.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+#include "workload/job_stream.hh"
+#include "workload/workload_spec.hh"
+
+namespace sleepscale {
+
+namespace {
+
+std::string
+formatDouble(double value)
+{
+    std::ostringstream out;
+    out << value;
+    return out.str();
+}
+
+StrategyKnobs
+knobsOf(const ScenarioSpec &spec)
+{
+    StrategyKnobs knobs;
+    knobs.epochMinutes = spec.epochMinutes;
+    knobs.overProvision = spec.overProvision;
+    knobs.rhoB = spec.rhoB;
+    knobs.qosMetric = spec.qosMetric;
+    return knobs;
+}
+
+WorkloadSpec
+workloadOf(const ScenarioSpec &spec)
+{
+    const WorkloadSpec workload = workloadByName(spec.workload);
+    return spec.idealizedWorkload ? workload.idealized() : workload;
+}
+
+ScenarioResult
+runSingleServer(const ScenarioSpec &spec)
+{
+    const PlatformModel platform = platformByName(spec.platform);
+    const WorkloadSpec workload = workloadOf(spec);
+    const UtilizationTrace trace = spec.trace.realize();
+
+    const RuntimeConfig config =
+        strategyConfigByName(spec.strategy, knobsOf(spec));
+    const SleepScaleRuntime runtime(platform, workload, config);
+
+    Rng rng(spec.seed);
+    const auto jobs = generateTraceDrivenJobs(rng, workload, trace);
+    const auto predictor = makePredictor(spec.predictor,
+                                         spec.predictorHistory,
+                                         trace.values());
+    const RuntimeResult run = runtime.run(jobs, trace, *predictor);
+
+    ScenarioResult result;
+    result.spec = spec;
+    result.meanResponse = run.meanResponse();
+    result.normalizedMean = run.meanResponse() / workload.serviceMean;
+    result.p95Response = run.p95Response();
+    result.avgPower = run.avgPower();
+    result.energy = run.total.energy;
+    result.elapsed = run.total.elapsed();
+    result.jobs = jobs.size();
+    result.withinBudget = run.withinBudget();
+    result.extras.emplace_back("epochs",
+                               static_cast<double>(run.epochs.size()));
+    const auto fractions = run.stateSelectionFractions();
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+        if (fractions[i] > 0.0)
+            result.extras.emplace_back(
+                "state_" + toString(allLowPowerStates[i]), fractions[i]);
+    }
+    if (spec.captureEpochs)
+        result.epochs = epochsToCsv(run);
+    return result;
+}
+
+ScenarioResult
+runFarm(const ScenarioSpec &spec)
+{
+    const PlatformModel platform = platformByName(spec.platform);
+    const WorkloadSpec workload = workloadOf(spec);
+    const UtilizationTrace trace = spec.trace.realize();
+
+    FarmRuntimeConfig config;
+    config.farmSize = spec.farmSize;
+    config.dispatcher = spec.dispatcher;
+    config.packingSpillBacklog = spec.packingSpillBacklog;
+    // Decorrelated from the job-generation stream, which uses the raw
+    // seed: identical seeds would put both generators in lock-step.
+    config.dispatchSeed = mixSeed(spec.seed);
+    config.perServer = strategyConfigByName(spec.strategy, knobsOf(spec));
+    const FarmRuntime runtime(platform, workload, config);
+
+    Rng rng(spec.seed);
+    const auto jobs =
+        generateFarmJobs(rng, workload, trace, spec.farmSize);
+    const auto predictor = makePredictor(spec.predictor,
+                                         spec.predictorHistory,
+                                         trace.values());
+    const FarmRuntimeResult run = runtime.run(jobs, trace, *predictor);
+
+    ScenarioResult result;
+    result.spec = spec;
+    result.meanResponse = run.meanResponse();
+    result.normalizedMean = run.meanResponse() / workload.serviceMean;
+    result.p95Response = run.total.responsePercentile(95.0);
+    result.avgPower = run.avgPower();
+    result.energy = run.total.energy;
+    result.elapsed = run.total.elapsed();
+    result.jobs = jobs.size();
+    result.withinBudget = run.withinBudget();
+    result.extras.emplace_back(
+        "per_server_w",
+        run.avgPower() / static_cast<double>(spec.farmSize));
+    result.jobsPerServer = run.jobsPerServer;
+    return result;
+}
+
+ScenarioResult
+runMulticore(const ScenarioSpec &spec)
+{
+    const PlatformModel platform = platformByName(spec.platform);
+    const WorkloadSpec workload = workloadOf(spec);
+
+    // The package sees cores-times one core's load with the workload's
+    // gap shape; utilities capped to (0, 1) don't apply here, so the
+    // arrival distribution is fitted directly.
+    const double total_load =
+        spec.rho * static_cast<double>(spec.cores);
+    const auto gaps = fitDistribution(workload.serviceMean / total_load,
+                                      workload.interArrivalCv);
+    const auto service = workload.makeService();
+    Rng rng(spec.seed);
+    const auto jobs =
+        generateJobs(rng, *gaps, *service, spec.jobCount);
+
+    MulticorePolicy policy;
+    policy.frequency = spec.frequency;
+    policy.corePlan = SleepPlan::immediate(spec.coreState);
+    policy.packageSleepDelay = spec.packageSleepDelay;
+    const MulticoreStats stats = evaluateMulticorePolicy(
+        platform, workload.scaling, spec.cores, policy, jobs);
+
+    ScenarioResult result;
+    result.spec = spec;
+    result.meanResponse = stats.response.mean();
+    result.normalizedMean =
+        stats.response.mean() / workload.serviceMean;
+    result.p95Response = stats.responseHistogram.percentile(95.0);
+    result.avgPower = stats.avgPower();
+    result.energy = stats.energy;
+    result.elapsed = stats.elapsed;
+    result.jobs = jobs.size();
+
+    const QosConstraint qos =
+        spec.qosMetric == QosMetric::MeanResponse
+            ? QosConstraint::fromBaselineMean(spec.rhoB,
+                                              workload.serviceMean)
+            : QosConstraint::fromBaselineTail(spec.rhoB,
+                                              workload.serviceMean);
+    result.withinBudget =
+        (spec.qosMetric == QosMetric::MeanResponse
+             ? result.meanResponse
+             : result.p95Response) <= qos.budget();
+
+    result.extras.emplace_back(
+        "s3_residency",
+        stats.elapsed > 0.0 ? stats.packageS3Time / stats.elapsed : 0.0);
+    result.extras.emplace_back(
+        "package_wakes", static_cast<double>(stats.packageWakes));
+    return result;
+}
+
+} // namespace
+
+double
+ScenarioResult::extra(const std::string &key) const
+{
+    for (const auto &entry : extras) {
+        if (entry.first == key)
+            return entry.second;
+    }
+    fatal("ScenarioResult '" + spec.label + "': no extra metric '" + key +
+          "'");
+}
+
+SweepAxis
+sweepEpochMinutes(const std::vector<unsigned> &values)
+{
+    SweepAxis axis{"T", {}};
+    for (unsigned value : values) {
+        axis.points.emplace_back(
+            std::to_string(value),
+            [value](ScenarioSpec &spec) { spec.epochMinutes = value; });
+    }
+    return axis;
+}
+
+SweepAxis
+sweepPredictors(const std::vector<std::string> &names)
+{
+    SweepAxis axis{"predictor", {}};
+    for (const std::string &name : names) {
+        axis.points.emplace_back(
+            name, [name](ScenarioSpec &spec) { spec.predictor = name; });
+    }
+    return axis;
+}
+
+SweepAxis
+sweepStrategies(const std::vector<std::string> &names)
+{
+    SweepAxis axis{"strategy", {}};
+    for (const std::string &name : names) {
+        axis.points.emplace_back(
+            name, [name](ScenarioSpec &spec) { spec.strategy = name; });
+    }
+    return axis;
+}
+
+SweepAxis
+sweepDispatchers(const std::vector<std::string> &names)
+{
+    SweepAxis axis{"dispatcher", {}};
+    for (const std::string &name : names) {
+        axis.points.emplace_back(
+            name, [name](ScenarioSpec &spec) { spec.dispatcher = name; });
+    }
+    return axis;
+}
+
+SweepAxis
+sweepFarmSizes(const std::vector<std::size_t> &sizes)
+{
+    SweepAxis axis{"servers", {}};
+    for (std::size_t size : sizes) {
+        axis.points.emplace_back(
+            std::to_string(size),
+            [size](ScenarioSpec &spec) { spec.farmSize = size; });
+    }
+    return axis;
+}
+
+SweepAxis
+sweepOverProvision(const std::vector<double> &alphas)
+{
+    SweepAxis axis{"alpha", {}};
+    for (double alpha : alphas) {
+        axis.points.emplace_back(
+            formatDouble(alpha),
+            [alpha](ScenarioSpec &spec) { spec.overProvision = alpha; });
+    }
+    return axis;
+}
+
+SweepAxis
+sweepQosMetrics(const std::vector<QosMetric> &metrics)
+{
+    SweepAxis axis{"metric", {}};
+    for (QosMetric metric : metrics) {
+        axis.points.emplace_back(
+            toString(metric),
+            [metric](ScenarioSpec &spec) { spec.qosMetric = metric; });
+    }
+    return axis;
+}
+
+SweepAxis
+sweepPackageSleepDelays(const std::vector<double> &delays)
+{
+    SweepAxis axis{"pkg_delay", {}};
+    for (double delay : delays) {
+        axis.points.emplace_back(
+            std::isfinite(delay) ? formatDouble(delay) : "inf",
+            [delay](ScenarioSpec &spec) {
+                spec.packageSleepDelay = delay;
+            });
+    }
+    return axis;
+}
+
+SweepAxis
+sweepCores(const std::vector<std::size_t> &counts)
+{
+    SweepAxis axis{"cores", {}};
+    for (std::size_t count : counts) {
+        axis.points.emplace_back(
+            std::to_string(count),
+            [count](ScenarioSpec &spec) { spec.cores = count; });
+    }
+    return axis;
+}
+
+SweepAxis
+customAxis(
+    std::string name,
+    std::vector<std::pair<std::string, std::function<void(ScenarioSpec &)>>>
+        points)
+{
+    return SweepAxis{std::move(name), std::move(points)};
+}
+
+std::vector<ScenarioSpec>
+expandGrid(const ScenarioSpec &base, const std::vector<SweepAxis> &axes,
+           bool reseed_per_scenario)
+{
+    for (const SweepAxis &axis : axes)
+        fatalIf(axis.points.empty(),
+                "expandGrid: sweep axis '" + axis.name + "' is empty");
+
+    std::vector<ScenarioSpec> grid{base};
+    for (const SweepAxis &axis : axes) {
+        std::vector<ScenarioSpec> next;
+        next.reserve(grid.size() * axis.points.size());
+        for (const ScenarioSpec &spec : grid) {
+            for (const auto &[value, apply] : axis.points) {
+                ScenarioSpec expanded = spec;
+                apply(expanded);
+                expanded.label += (expanded.label.empty() ? "" : " ") +
+                                  axis.name + "=" + value;
+                next.push_back(std::move(expanded));
+            }
+        }
+        grid = std::move(next);
+    }
+    if (reseed_per_scenario) {
+        for (std::size_t i = 0; i < grid.size(); ++i)
+            grid[i].seed = mixSeed(base.seed + i);
+    }
+    return grid;
+}
+
+ExperimentRunner::ExperimentRunner(std::size_t threads)
+    : _threads(threads)
+{
+    if (_threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        _threads = hw > 0 ? hw : 1;
+    }
+}
+
+ExperimentRunner &
+ExperimentRunner::add(ScenarioSpec spec)
+{
+    spec.validate();
+    _scenarios.push_back(std::move(spec));
+    return *this;
+}
+
+ExperimentRunner &
+ExperimentRunner::addGrid(const ScenarioSpec &base,
+                          const std::vector<SweepAxis> &axes,
+                          bool reseed_per_scenario)
+{
+    for (ScenarioSpec &spec : expandGrid(base, axes, reseed_per_scenario))
+        add(std::move(spec));
+    return *this;
+}
+
+ScenarioResult
+ExperimentRunner::runScenario(const ScenarioSpec &spec)
+{
+    spec.validate();
+    switch (spec.engine) {
+      case EngineKind::SingleServer:
+        return runSingleServer(spec);
+      case EngineKind::Farm:
+        return runFarm(spec);
+      case EngineKind::Multicore:
+        return runMulticore(spec);
+    }
+    panic("ExperimentRunner: unknown EngineKind");
+}
+
+std::vector<ScenarioResult>
+ExperimentRunner::run() const
+{
+    std::vector<ScenarioResult> results(_scenarios.size());
+    if (_scenarios.empty())
+        return results;
+
+    const std::size_t workers =
+        std::min(_threads, _scenarios.size());
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < _scenarios.size(); ++i)
+            results[i] = runScenario(_scenarios[i]);
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    auto drain = [&] {
+        for (std::size_t i = next.fetch_add(1); i < _scenarios.size();
+             i = next.fetch_add(1)) {
+            try {
+                results[i] = runScenario(_scenarios[i]);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        pool.emplace_back(drain);
+    for (std::thread &thread : pool)
+        thread.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+TablePrinter
+resultsTable(const std::vector<ScenarioResult> &results)
+{
+    TablePrinter table({"scenario", "engine", "mu*E[R]", "p95 (svc)",
+                        "E[P] [W]", "within budget?"});
+    for (const ScenarioResult &result : results) {
+        const double service_mean =
+            result.meanResponse > 0.0 && result.normalizedMean > 0.0
+                ? result.meanResponse / result.normalizedMean
+                : 1.0;
+        table.addRow({result.spec.label, toString(result.spec.engine),
+                      std::to_string(result.normalizedMean),
+                      std::to_string(result.p95Response / service_mean),
+                      std::to_string(result.avgPower),
+                      result.withinBudget ? "yes" : "no"});
+    }
+    return table;
+}
+
+std::string
+resultsToCsvString(const std::vector<ScenarioResult> &results)
+{
+    // The union of extra keys, in first-seen order, pads the schema so
+    // mixed-engine result sets still export one rectangular table.
+    std::vector<std::string> extra_keys;
+    for (const ScenarioResult &result : results) {
+        for (const auto &entry : result.extras) {
+            bool known = false;
+            for (const std::string &key : extra_keys)
+                known = known || key == entry.first;
+            if (!known)
+                extra_keys.push_back(entry.first);
+        }
+    }
+
+    std::ostringstream out;
+    out << "label,engine,workload,trace,strategy,predictor,seed,"
+           "mean_response_s,normalized_mean,p95_response_s,avg_power_w,"
+           "energy_j,elapsed_s,jobs,within_budget";
+    for (const std::string &key : extra_keys)
+        out << ',' << key;
+    out << '\n';
+
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string quoted = "\"";
+        for (char c : cell) {
+            if (c == '"')
+                quoted += '"';
+            quoted += c;
+        }
+        return quoted + "\"";
+    };
+
+    for (const ScenarioResult &result : results) {
+        const ScenarioSpec &spec = result.spec;
+        out << quote(spec.label) << ',' << toString(spec.engine) << ','
+            << spec.workload << ',' << quote(spec.trace.label()) << ','
+            << quote(spec.strategy) << ',' << spec.predictor << ','
+            << spec.seed << ',' << result.meanResponse << ','
+            << result.normalizedMean << ',' << result.p95Response << ','
+            << result.avgPower << ',' << result.energy << ','
+            << result.elapsed << ',' << result.jobs << ','
+            << (result.withinBudget ? 1 : 0);
+        for (const std::string &key : extra_keys) {
+            out << ',';
+            for (const auto &entry : result.extras) {
+                if (entry.first == key) {
+                    out << entry.second;
+                    break;
+                }
+            }
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+void
+writeResultsCsv(const std::string &path,
+                const std::vector<ScenarioResult> &results)
+{
+    std::ofstream file(path);
+    fatalIf(!file, "writeResultsCsv: cannot open '" + path + "'");
+    file << resultsToCsvString(results);
+    fatalIf(!file.good(), "writeResultsCsv: write to '" + path +
+                              "' failed");
+}
+
+} // namespace sleepscale

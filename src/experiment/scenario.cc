@@ -1,0 +1,320 @@
+#include "experiment/scenario.hh"
+
+#include <sstream>
+
+#include "core/predictor.hh"
+#include "core/strategies.hh"
+#include "farm/dispatcher.hh"
+#include "power/platform_model.hh"
+#include "util/error.hh"
+#include "workload/workload_spec.hh"
+
+namespace sleepscale {
+
+std::string
+toString(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::SingleServer:
+        return "single";
+      case EngineKind::Farm:
+        return "farm";
+      case EngineKind::Multicore:
+        return "multicore";
+    }
+    panic("toString: unknown EngineKind");
+}
+
+UtilizationTrace
+TraceSpec::realize() const
+{
+    UtilizationTrace trace;
+    if (kind == "es") {
+        trace = synthEmailStoreTrace(days, seed);
+    } else if (kind == "fs") {
+        trace = synthFileServerTrace(days, seed);
+    } else if (kind == "flat") {
+        fatalIf(flatMinutes == 0,
+                "TraceSpec: a flat trace needs flatMinutes >= 1");
+        trace = UtilizationTrace(
+            "flat", std::vector<double>(flatMinutes, flatLevel));
+    } else {
+        trace = UtilizationTrace::load(kind);
+    }
+    if (windowStartHour != 0 || windowEndHour != 24)
+        trace = trace.dailyWindow(windowStartHour, windowEndHour);
+    return trace;
+}
+
+std::string
+TraceSpec::label() const
+{
+    std::ostringstream out;
+    if (kind == "flat") {
+        out << "flat(" << flatLevel << ")";
+    } else {
+        out << kind;
+        if (windowStartHour != 0 || windowEndHour != 24)
+            out << "[" << windowStartHour << "," << windowEndHour << ")";
+    }
+    return out.str();
+}
+
+void
+ScenarioSpec::validate() const
+{
+    workloadRegistry().get(workload);
+    platformRegistry().get(platform);
+    fatalIf(trace.kind != "flat" && trace.days == 0,
+            "ScenarioSpec '" + label + "': trace days must be >= 1");
+    switch (engine) {
+      case EngineKind::SingleServer:
+      case EngineKind::Farm:
+        strategyRegistry().get(strategy);
+        predictorRegistry().get(predictor);
+        fatalIf(epochMinutes == 0,
+                "ScenarioSpec '" + label + "': epochMinutes must be >= 1");
+        fatalIf(rhoB <= 0.0 || rhoB >= 1.0,
+                "ScenarioSpec '" + label + "': rhoB must be in (0, 1)");
+        break;
+      case EngineKind::Multicore:
+        fatalIf(cores == 0,
+                "ScenarioSpec '" + label + "': cores must be >= 1");
+        fatalIf(frequency <= 0.0 || frequency > 1.0,
+                "ScenarioSpec '" + label +
+                    "': frequency must be in (0, 1]");
+        fatalIf(rho <= 0.0 || rho >= 1.0,
+                "ScenarioSpec '" + label + "': rho must be in (0, 1)");
+        fatalIf(jobCount == 0,
+                "ScenarioSpec '" + label + "': jobCount must be >= 1");
+        break;
+    }
+    if (engine == EngineKind::Farm) {
+        dispatcherRegistry().get(dispatcher);
+        fatalIf(farmSize == 0,
+                "ScenarioSpec '" + label + "': farmSize must be >= 1");
+    }
+}
+
+ScenarioBuilder::ScenarioBuilder(std::string label)
+{
+    _spec.label = std::move(label);
+}
+
+ScenarioBuilder
+ScenarioBuilder::from(const ScenarioSpec &spec)
+{
+    ScenarioBuilder builder(spec.label);
+    builder._spec = spec;
+    return builder;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::engine(EngineKind kind)
+{
+    _spec.engine = kind;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::workload(const std::string &name)
+{
+    _spec.workload = name;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::idealizedWorkload(bool on)
+{
+    _spec.idealizedWorkload = on;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::platform(const std::string &name)
+{
+    _spec.platform = name;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::trace(const std::string &kind)
+{
+    _spec.trace.kind = kind;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::traceDays(unsigned days)
+{
+    _spec.trace.days = days;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::traceSeed(std::uint64_t seed)
+{
+    _spec.trace.seed = seed;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::window(unsigned start_hour, unsigned end_hour)
+{
+    _spec.trace.windowStartHour = start_hour;
+    _spec.trace.windowEndHour = end_hour;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::flatTrace(double level, std::size_t minutes)
+{
+    _spec.trace.kind = "flat";
+    _spec.trace.flatLevel = level;
+    _spec.trace.flatMinutes = minutes;
+    _spec.trace.windowStartHour = 0;
+    _spec.trace.windowEndHour = 24;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::strategy(const std::string &name)
+{
+    _spec.strategy = name;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::epochMinutes(unsigned minutes)
+{
+    _spec.epochMinutes = minutes;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::overProvision(double alpha)
+{
+    _spec.overProvision = alpha;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::rhoB(double rho_b)
+{
+    _spec.rhoB = rho_b;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::qosMetric(QosMetric metric)
+{
+    _spec.qosMetric = metric;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::predictor(const std::string &name)
+{
+    _spec.predictor = name;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::predictorHistory(std::size_t taps)
+{
+    _spec.predictorHistory = taps;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::farmSize(std::size_t servers)
+{
+    _spec.farmSize = servers;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::dispatcher(const std::string &name)
+{
+    _spec.dispatcher = name;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::packingSpillBacklog(double seconds)
+{
+    _spec.packingSpillBacklog = seconds;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::cores(std::size_t count)
+{
+    _spec.cores = count;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::frequency(double f)
+{
+    _spec.frequency = f;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::coreState(LowPowerState state)
+{
+    _spec.coreState = state;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::packageSleepDelay(double seconds)
+{
+    _spec.packageSleepDelay = seconds;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::rho(double per_core_load)
+{
+    _spec.rho = per_core_load;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::jobCount(std::size_t count)
+{
+    _spec.jobCount = count;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::seed(std::uint64_t master_seed)
+{
+    _spec.seed = master_seed;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::captureEpochs(bool on)
+{
+    _spec.captureEpochs = on;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::label(const std::string &text)
+{
+    _spec.label = text;
+    return *this;
+}
+
+ScenarioSpec
+ScenarioBuilder::build() const
+{
+    _spec.validate();
+    return _spec;
+}
+
+} // namespace sleepscale

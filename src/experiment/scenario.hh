@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Declarative experiment scenarios.
+ *
+ * A ScenarioSpec is a complete, engine-agnostic description of one
+ * SleepScale experiment: which trace feeds which workload on which
+ * platform, which policy-management strategy and predictor run, and
+ * which engine executes it (single server, dispatched farm, or
+ * multi-core package). Every component is named against its registry,
+ * so specs serialize naturally into sweep grids, tables, and CSV rows,
+ * and misspelled names fail fast listing the registered alternatives.
+ *
+ * ScenarioBuilder is the fluent front door:
+ *
+ *   const ScenarioSpec spec = ScenarioBuilder("fig9")
+ *       .workload("dns")
+ *       .trace("es").traceDays(1).traceSeed(20140614).window(2, 20)
+ *       .strategy("SS").epochMinutes(5).overProvision(0.35)
+ *       .predictor("LC")
+ *       .seed(99)
+ *       .build();
+ *
+ * ExperimentRunner (runner.hh) executes specs and expands sweep grids.
+ */
+
+#ifndef SLEEPSCALE_EXPERIMENT_SCENARIO_HH
+#define SLEEPSCALE_EXPERIMENT_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/qos.hh"
+#include "power/low_power_state.hh"
+#include "workload/utilization_trace.hh"
+
+namespace sleepscale {
+
+/** Which engine executes a scenario. */
+enum class EngineKind
+{
+    SingleServer, ///< SleepScaleRuntime: one epoch-controlled server.
+    Farm,         ///< FarmRuntime: dispatched multi-server farm.
+    Multicore,    ///< MulticoreSim: package-gated multi-core part.
+};
+
+/** Engine name for reports ("single", "farm", "multicore"). */
+std::string toString(EngineKind kind);
+
+/**
+ * Declarative description of the utilization trace feeding a scenario.
+ *
+ * `kind` is "es" (synthetic email store), "fs" (synthetic file server),
+ * "flat" (constant level, for controlled studies), or a path to a CSV
+ * saved by UtilizationTrace::save().
+ */
+struct TraceSpec
+{
+    std::string kind = "es";
+    unsigned days = 1;                 ///< Days synthesized (es/fs).
+    std::uint64_t seed = 20140614;     ///< Synthesis seed (es/fs).
+    unsigned windowStartHour = 0;      ///< Daily window start (incl.).
+    unsigned windowEndHour = 24;       ///< Daily window end (excl.).
+    double flatLevel = 0.2;            ///< Constant level (flat).
+    std::size_t flatMinutes = 120;     ///< Trace length (flat).
+
+    /** Materialize the trace this spec describes. */
+    UtilizationTrace realize() const;
+
+    /** Short printable form, e.g. "es[2,20)" or "flat(0.2)". */
+    std::string label() const;
+};
+
+/**
+ * One fully specified experiment. Construct through ScenarioBuilder;
+ * validate() cross-checks every component name against its registry.
+ */
+struct ScenarioSpec
+{
+    std::string label;                  ///< Row label in reports.
+    EngineKind engine = EngineKind::SingleServer;
+
+    std::string workload = "dns";       ///< Workload registry name.
+    bool idealizedWorkload = false;     ///< Use spec.idealized().
+    std::string platform = "xeon";      ///< Platform registry name.
+    TraceSpec trace;
+
+    // Policy management (single-server and farm engines).
+    std::string strategy = "SS";        ///< Strategy registry name.
+    unsigned epochMinutes = 5;          ///< Update interval T.
+    double overProvision = 0.35;        ///< α.
+    double rhoB = 0.8;                  ///< ρ_b anchoring the QoS budget.
+    QosMetric qosMetric = QosMetric::MeanResponse;
+    std::string predictor = "LC";       ///< Predictor registry name.
+    std::size_t predictorHistory = 10;  ///< Predictor tap count p.
+
+    // Farm engine.
+    std::size_t farmSize = 4;           ///< Back-end server count.
+    std::string dispatcher = "random";  ///< Dispatcher registry name.
+    double packingSpillBacklog = 1.0;   ///< Packing spill threshold, s.
+
+    // Multicore engine (fixed package policy over a stationary load).
+    std::size_t cores = 4;              ///< Cores in the package.
+    double frequency = 1.0;             ///< Shared DVFS factor.
+    LowPowerState coreState = LowPowerState::C6S0Idle;
+    double packageSleepDelay = 1.0;     ///< Joint-idle S3 delay, s.
+    double rho = 0.1;                   ///< Per-core offered load.
+    std::size_t jobCount = 60000;       ///< Stationary job count.
+
+    /** Master seed; every RNG the engines draw is derived from it. */
+    std::uint64_t seed = 1;
+
+    /** Capture the per-epoch CSV in the result (single-server only). */
+    bool captureEpochs = false;
+
+    /**
+     * Cross-check every registry-keyed name and numeric range; fatal()
+     * with the registered alternatives on the first mismatch.
+     */
+    void validate() const;
+};
+
+/** Fluent construction of ScenarioSpecs. */
+class ScenarioBuilder
+{
+  public:
+    /** @param label Row label of the scenario under construction. */
+    explicit ScenarioBuilder(std::string label);
+
+    /** Resume building from an existing spec (sweep expansion). */
+    static ScenarioBuilder from(const ScenarioSpec &spec);
+
+    ScenarioBuilder &engine(EngineKind kind);
+    ScenarioBuilder &workload(const std::string &name);
+    ScenarioBuilder &idealizedWorkload(bool on = true);
+    ScenarioBuilder &platform(const std::string &name);
+
+    /** Trace kind: "es", "fs", "flat", or a CSV path. */
+    ScenarioBuilder &trace(const std::string &kind);
+    ScenarioBuilder &traceDays(unsigned days);
+    ScenarioBuilder &traceSeed(std::uint64_t seed);
+    /** Daily evaluation window [start, end) in hours. */
+    ScenarioBuilder &window(unsigned start_hour, unsigned end_hour);
+    /** Shortcut: a flat trace at `level` for `minutes` minutes. */
+    ScenarioBuilder &flatTrace(double level, std::size_t minutes);
+
+    ScenarioBuilder &strategy(const std::string &name);
+    ScenarioBuilder &epochMinutes(unsigned minutes);
+    ScenarioBuilder &overProvision(double alpha);
+    ScenarioBuilder &rhoB(double rho_b);
+    ScenarioBuilder &qosMetric(QosMetric metric);
+    ScenarioBuilder &predictor(const std::string &name);
+    ScenarioBuilder &predictorHistory(std::size_t taps);
+
+    ScenarioBuilder &farmSize(std::size_t servers);
+    ScenarioBuilder &dispatcher(const std::string &name);
+    ScenarioBuilder &packingSpillBacklog(double seconds);
+
+    ScenarioBuilder &cores(std::size_t count);
+    ScenarioBuilder &frequency(double f);
+    ScenarioBuilder &coreState(LowPowerState state);
+    ScenarioBuilder &packageSleepDelay(double seconds);
+    ScenarioBuilder &rho(double per_core_load);
+    ScenarioBuilder &jobCount(std::size_t count);
+
+    ScenarioBuilder &seed(std::uint64_t master_seed);
+    ScenarioBuilder &captureEpochs(bool on = true);
+    ScenarioBuilder &label(const std::string &text);
+
+    /** Validate and return the finished spec. */
+    ScenarioSpec build() const;
+
+  private:
+    ScenarioSpec _spec;
+};
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_EXPERIMENT_SCENARIO_HH

@@ -97,15 +97,32 @@ std::unique_ptr<Dispatcher>
 makeDispatcher(const std::string &name, std::uint64_t seed,
                double spill_backlog)
 {
-    if (name == "random")
-        return std::make_unique<RandomDispatcher>(seed);
-    if (name == "round-robin")
-        return std::make_unique<RoundRobinDispatcher>();
-    if (name == "JSQ")
-        return std::make_unique<JsqDispatcher>();
-    if (name == "packing")
-        return std::make_unique<PackingDispatcher>(spill_backlog);
-    fatal("makeDispatcher: unknown dispatcher '" + name + "'");
+    DispatcherContext ctx;
+    ctx.seed = seed;
+    ctx.spillBacklog = spill_backlog;
+    return dispatcherRegistry().get(name)(ctx);
+}
+
+Registry<DispatcherFactory> &
+dispatcherRegistry()
+{
+    static Registry<DispatcherFactory> registry = [] {
+        Registry<DispatcherFactory> r("dispatcher");
+        r.add("random", [](const DispatcherContext &ctx) {
+            return std::make_unique<RandomDispatcher>(ctx.seed);
+        });
+        r.add("round-robin", [](const DispatcherContext &) {
+            return std::make_unique<RoundRobinDispatcher>();
+        });
+        r.add("JSQ", [](const DispatcherContext &) {
+            return std::make_unique<JsqDispatcher>();
+        });
+        r.add("packing", [](const DispatcherContext &ctx) {
+            return std::make_unique<PackingDispatcher>(ctx.spillBacklog);
+        });
+        return r;
+    }();
+    return registry;
 }
 
 } // namespace sleepscale

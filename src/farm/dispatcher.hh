@@ -13,10 +13,12 @@
 #define SLEEPSCALE_FARM_DISPATCHER_HH
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "util/registry.hh"
 #include "util/rng.hh"
 #include "workload/job.hh"
 
@@ -111,7 +113,30 @@ class PackingDispatcher final : public Dispatcher
     double _spillBacklog;
 };
 
-/** Factory by name: "random", "round-robin", "JSQ", or "packing". */
+/** Inputs available to a dispatcher factory. */
+struct DispatcherContext
+{
+    /** Seed for stochastic dispatchers. */
+    std::uint64_t seed = 1;
+
+    /** Spill threshold for the packing dispatcher, seconds. */
+    double spillBacklog = 1.0;
+};
+
+/** Factory signature stored in the dispatcher registry. */
+using DispatcherFactory =
+    std::function<std::unique_ptr<Dispatcher>(const DispatcherContext &)>;
+
+/**
+ * The dispatcher registry. Ships with "random", "round-robin", "JSQ",
+ * and "packing"; extensions register additional routing policies under
+ * new names. FarmRuntime validates its configured dispatcher against
+ * this registry at construction, so misspelled names fail fast with
+ * the registered alternatives listed.
+ */
+Registry<DispatcherFactory> &dispatcherRegistry();
+
+/** Construct a registered dispatcher by name; fatal() on unknown names. */
 std::unique_ptr<Dispatcher> makeDispatcher(const std::string &name,
                                            std::uint64_t seed = 1,
                                            double spill_backlog = 1.0);

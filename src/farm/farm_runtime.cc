@@ -48,6 +48,11 @@ FarmRuntime::FarmRuntime(const PlatformModel &platform,
             "FarmRuntime: farm size must be >= 1");
     fatalIf(_config.perServer.epochMinutes == 0,
             "FarmRuntime: epochMinutes must be positive");
+    // Fail fast on misspelled dispatcher names: get() lists the
+    // registered alternatives, and catching it here (instead of inside
+    // run()) surfaces the mistake while the configuration site is still
+    // on the stack.
+    dispatcherRegistry().get(_config.dispatcher);
 }
 
 FarmRuntimeResult

@@ -136,4 +136,22 @@ PlatformModel::atom()
                          WakeLatencies{});
 }
 
+Registry<PlatformFactory> &
+platformRegistry()
+{
+    static Registry<PlatformFactory> registry = [] {
+        Registry<PlatformFactory> r("platform");
+        r.add("xeon", PlatformModel::xeon);
+        r.add("atom", PlatformModel::atom);
+        return r;
+    }();
+    return registry;
+}
+
+PlatformModel
+platformByName(const std::string &name)
+{
+    return platformRegistry().get(name)();
+}
+
 } // namespace sleepscale

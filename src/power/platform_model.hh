@@ -13,9 +13,11 @@
 #ifndef SLEEPSCALE_POWER_PLATFORM_MODEL_HH
 #define SLEEPSCALE_POWER_PLATFORM_MODEL_HH
 
+#include <functional>
 #include <string>
 
 #include "power/low_power_state.hh"
+#include "util/registry.hh"
 
 namespace sleepscale {
 
@@ -132,6 +134,18 @@ class PlatformModel
 
     void validate() const;
 };
+
+/** Factory signature stored in the platform registry. */
+using PlatformFactory = std::function<PlatformModel()>;
+
+/**
+ * The platform registry. Ships with "xeon" and "atom"; extensions
+ * register additional power models under new names.
+ */
+Registry<PlatformFactory> &platformRegistry();
+
+/** Build a registered platform by name; fatal() on unknown names. */
+PlatformModel platformByName(const std::string &name);
 
 } // namespace sleepscale
 

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * String-keyed factory registry.
+ *
+ * Every pluggable component family (utilization predictors, farm
+ * dispatchers, named strategies, workloads, platforms) exposes one
+ * Registry instance. Components are constructed by name through the
+ * registry, so an unknown name fails fast with a message listing what
+ * IS registered instead of silently misbehaving, and downstream layers
+ * (the experiment API, the CLI) can enumerate the available choices
+ * without hard-coding them.
+ */
+
+#ifndef SLEEPSCALE_UTIL_REGISTRY_HH
+#define SLEEPSCALE_UTIL_REGISTRY_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+/**
+ * A named family of factories.
+ *
+ * @tparam Factory Callable type constructing one component; the
+ *         signature is up to the family (see e.g. PredictorFactory).
+ */
+template <typename Factory>
+class Registry
+{
+  public:
+    /** @param kind Family name used in error messages ("predictor"). */
+    explicit Registry(std::string kind) : _kind(std::move(kind)) {}
+
+    /**
+     * Register a factory under a name.
+     *
+     * @param name Lookup key; must not already be registered.
+     * @param factory The factory to store.
+     */
+    void add(const std::string &name, Factory factory)
+    {
+        const bool inserted =
+            _entries.emplace(name, std::move(factory)).second;
+        fatalIf(!inserted, _kind + " '" + name + "' is already registered");
+    }
+
+    /** Whether a name is registered. */
+    bool contains(const std::string &name) const
+    {
+        return _entries.find(name) != _entries.end();
+    }
+
+    /**
+     * Look up a factory, fatal() on unknown names.
+     *
+     * @param name Registered name.
+     * @return The factory; call it to construct the component.
+     */
+    const Factory &get(const std::string &name) const
+    {
+        const auto it = _entries.find(name);
+        if (it == _entries.end())
+            fatal("unknown " + _kind + " '" + name + "' (registered: " +
+                  namesCsv() + ")");
+        return it->second;
+    }
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const
+    {
+        std::vector<std::string> out;
+        out.reserve(_entries.size());
+        for (const auto &entry : _entries)
+            out.push_back(entry.first);
+        return out;
+    }
+
+    /** Registered names joined with ", " (for messages and --help). */
+    std::string namesCsv() const
+    {
+        std::string out;
+        for (const auto &entry : _entries) {
+            if (!out.empty())
+                out += ", ";
+            out += entry.first;
+        }
+        return out;
+    }
+
+  private:
+    std::string _kind;
+    std::map<std::string, Factory> _entries;
+};
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_UTIL_REGISTRY_HH

@@ -27,6 +27,12 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+mixSeed(std::uint64_t seed)
+{
+    return splitmix64(seed);
+}
+
 Rng::Rng(std::uint64_t seed)
     : _spareNormal(0.0)
 {

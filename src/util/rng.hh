@@ -79,6 +79,15 @@ class Rng
     bool _haveSpare = false;
 };
 
+/**
+ * Derive a decorrelated seed from another seed (one splitmix64 step).
+ *
+ * Use when two components must draw statistically independent streams
+ * from one master seed: seeding both with the raw value would put
+ * their generators in identical states.
+ */
+std::uint64_t mixSeed(std::uint64_t seed);
+
 } // namespace sleepscale
 
 #endif // SLEEPSCALE_UTIL_RNG_HH

@@ -75,4 +75,23 @@ googleWorkload()
     return {"Google", 319e-6, 1.2, 4.2e-3, 1.1, ServiceScaling::cpuBound()};
 }
 
+Registry<WorkloadFactory> &
+workloadRegistry()
+{
+    static Registry<WorkloadFactory> registry = [] {
+        Registry<WorkloadFactory> r("workload");
+        r.add("dns", dnsWorkload);
+        r.add("mail", mailWorkload);
+        r.add("google", googleWorkload);
+        return r;
+    }();
+    return registry;
+}
+
+WorkloadSpec
+workloadByName(const std::string &name)
+{
+    return workloadRegistry().get(name)();
+}
+
 } // namespace sleepscale

@@ -6,9 +6,11 @@
 #ifndef SLEEPSCALE_WORKLOAD_WORKLOAD_SPEC_HH
 #define SLEEPSCALE_WORKLOAD_WORKLOAD_SPEC_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 
+#include "util/registry.hh"
 #include "workload/distribution.hh"
 
 namespace sleepscale {
@@ -79,6 +81,19 @@ WorkloadSpec mailWorkload();
 
 /** "Google-like" workload of Table 5 (1/µ = 4.2 ms). */
 WorkloadSpec googleWorkload();
+
+/** Factory signature stored in the workload registry. */
+using WorkloadFactory = std::function<WorkloadSpec()>;
+
+/**
+ * The workload registry. Ships with "dns", "mail", and "google" (the
+ * paper's Table 5); extensions register additional characterizations
+ * under new names.
+ */
+Registry<WorkloadFactory> &workloadRegistry();
+
+/** Build a registered workload by name; fatal() on unknown names. */
+WorkloadSpec workloadByName(const std::string &name);
 
 } // namespace sleepscale
 

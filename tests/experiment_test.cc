@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Tests for the unified experiment layer: component registries,
+ * scenario building and validation, sweep-grid expansion, and the
+ * determinism of the parallel runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/predictor.hh"
+#include "core/strategies.hh"
+#include "experiment/runner.hh"
+#include "farm/dispatcher.hh"
+#include "farm/farm_runtime.hh"
+#include "power/platform_model.hh"
+#include "util/error.hh"
+#include "util/registry.hh"
+#include "workload/workload_spec.hh"
+
+namespace sleepscale {
+namespace {
+
+// ------------------------------------------------------------ registry
+
+TEST(Registry, UnknownNameThrowsListingRegistered)
+{
+    try {
+        predictorRegistry().get("nope");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("unknown predictor 'nope'"),
+                  std::string::npos)
+            << what;
+        // The message lists the registered alternatives.
+        EXPECT_NE(what.find("LC"), std::string::npos) << what;
+        EXPECT_NE(what.find("Offline"), std::string::npos) << what;
+    }
+}
+
+TEST(Registry, DuplicateRegistrationThrows)
+{
+    Registry<int (*)()> registry("gadget");
+    registry.add("one", +[] { return 1; });
+    EXPECT_THROW(registry.add("one", +[] { return 2; }), ConfigError);
+    EXPECT_EQ(registry.get("one")(), 1);
+}
+
+TEST(Registry, BuiltInsAreRegistered)
+{
+    for (const char *name : {"NP", "LMS", "LC", "Offline"})
+        EXPECT_TRUE(predictorRegistry().contains(name)) << name;
+    for (const char *name :
+         {"SS", "SS(C3)", "DVFS", "R2H(C3)", "R2H(C6)"})
+        EXPECT_TRUE(strategyRegistry().contains(name)) << name;
+    for (const char *name : {"random", "round-robin", "JSQ", "packing"})
+        EXPECT_TRUE(dispatcherRegistry().contains(name)) << name;
+    for (const char *name : {"dns", "mail", "google"})
+        EXPECT_TRUE(workloadRegistry().contains(name)) << name;
+    for (const char *name : {"xeon", "atom"})
+        EXPECT_TRUE(platformRegistry().contains(name)) << name;
+}
+
+TEST(Registry, NamesAreSorted)
+{
+    const auto names = dispatcherRegistry().names();
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(Registry, FarmRuntimeRejectsUnknownDispatcherAtConstruction)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const WorkloadSpec dns = dnsWorkload();
+    FarmRuntimeConfig config;
+    config.dispatcher = "pakcing"; // typo
+    try {
+        const FarmRuntime runtime(xeon, dns, config);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("pakcing"), std::string::npos) << what;
+        EXPECT_NE(what.find("packing"), std::string::npos) << what;
+    }
+}
+
+// ------------------------------------------------- builder / validation
+
+TEST(ScenarioBuilder, BuildsValidatedSpec)
+{
+    const ScenarioSpec spec = ScenarioBuilder("s")
+                                  .workload("mail")
+                                  .platform("atom")
+                                  .flatTrace(0.25, 45)
+                                  .strategy("DVFS")
+                                  .epochMinutes(3)
+                                  .predictor("NP")
+                                  .seed(7)
+                                  .build();
+    EXPECT_EQ(spec.workload, "mail");
+    EXPECT_EQ(spec.platform, "atom");
+    EXPECT_EQ(spec.trace.kind, "flat");
+    EXPECT_EQ(spec.strategy, "DVFS");
+    EXPECT_EQ(spec.epochMinutes, 3u);
+    EXPECT_EQ(spec.seed, 7u);
+
+    const UtilizationTrace trace = spec.trace.realize();
+    EXPECT_EQ(trace.size(), 45u);
+    EXPECT_DOUBLE_EQ(trace.at(0), 0.25);
+}
+
+TEST(ScenarioBuilder, RejectsUnknownComponentNames)
+{
+    EXPECT_THROW(ScenarioBuilder("s").workload("smtp").build(),
+                 ConfigError);
+    EXPECT_THROW(ScenarioBuilder("s").strategy("YOLO").build(),
+                 ConfigError);
+    EXPECT_THROW(ScenarioBuilder("s").predictor("ARIMA").build(),
+                 ConfigError);
+    EXPECT_THROW(ScenarioBuilder("s")
+                     .engine(EngineKind::Farm)
+                     .dispatcher("least-loaded")
+                     .build(),
+                 ConfigError);
+    EXPECT_THROW(ScenarioBuilder("s").platform("epyc").build(),
+                 ConfigError);
+}
+
+TEST(ScenarioBuilder, RejectsOutOfRangeKnobs)
+{
+    EXPECT_THROW(ScenarioBuilder("s").epochMinutes(0).build(),
+                 ConfigError);
+    EXPECT_THROW(ScenarioBuilder("s").rhoB(1.5).build(), ConfigError);
+    EXPECT_THROW(ScenarioBuilder("s")
+                     .engine(EngineKind::Multicore)
+                     .rho(1.2)
+                     .build(),
+                 ConfigError);
+    EXPECT_THROW(ScenarioBuilder("s")
+                     .engine(EngineKind::Multicore)
+                     .cores(0)
+                     .build(),
+                 ConfigError);
+    EXPECT_THROW(ScenarioBuilder("s")
+                     .engine(EngineKind::Farm)
+                     .farmSize(0)
+                     .build(),
+                 ConfigError);
+}
+
+// --------------------------------------------------------- sweep grids
+
+ScenarioSpec
+flatBase()
+{
+    return ScenarioBuilder("base")
+        .workload("dns")
+        .flatTrace(0.15, 30)
+        .epochMinutes(5)
+        .overProvision(0.0)
+        .predictor("NP")
+        .seed(11)
+        .build();
+}
+
+TEST(ExpandGrid, CrossProductCountsAndLabels)
+{
+    const auto grid =
+        expandGrid(flatBase(),
+                   {sweepEpochMinutes({1, 5, 10, 15}),
+                    sweepPredictors({"LC", "LMS", "NP"})});
+    ASSERT_EQ(grid.size(), 12u);
+
+    std::set<std::string> labels;
+    for (const ScenarioSpec &spec : grid)
+        labels.insert(spec.label);
+    EXPECT_EQ(labels.size(), 12u); // every label unique
+
+    // First axis outermost, second innermost.
+    EXPECT_EQ(grid[0].epochMinutes, 1u);
+    EXPECT_EQ(grid[0].predictor, "LC");
+    EXPECT_EQ(grid[1].predictor, "LMS");
+    EXPECT_EQ(grid[3].epochMinutes, 5u);
+    EXPECT_EQ(grid.back().epochMinutes, 15u);
+    EXPECT_EQ(grid.back().predictor, "NP");
+    EXPECT_EQ(grid[0].label, "base T=1 predictor=LC");
+}
+
+TEST(ExpandGrid, SharedSeedByDefaultDistinctWhenReseeding)
+{
+    const auto shared =
+        expandGrid(flatBase(), {sweepEpochMinutes({1, 5, 10})});
+    for (const ScenarioSpec &spec : shared)
+        EXPECT_EQ(spec.seed, 11u);
+
+    const auto reseeded = expandGrid(
+        flatBase(), {sweepEpochMinutes({1, 5, 10})}, true);
+    std::set<std::uint64_t> seeds;
+    for (const ScenarioSpec &spec : reseeded)
+        seeds.insert(spec.seed);
+    EXPECT_EQ(seeds.size(), reseeded.size());
+}
+
+TEST(ExpandGrid, EmptyAxisThrows)
+{
+    EXPECT_THROW(expandGrid(flatBase(), {sweepPredictors({})}),
+                 ConfigError);
+}
+
+// ------------------------------------------------------------- running
+
+TEST(ExperimentRunner, MulticoreScenarioSmoke)
+{
+    const ScenarioSpec spec = ScenarioBuilder("mc")
+                                  .engine(EngineKind::Multicore)
+                                  .workload("dns")
+                                  .idealizedWorkload()
+                                  .cores(2)
+                                  .rho(0.2)
+                                  .jobCount(2000)
+                                  .seed(3)
+                                  .build();
+    const ScenarioResult result =
+        ExperimentRunner::runScenario(spec);
+    EXPECT_EQ(result.jobs, 2000u);
+    EXPECT_GT(result.meanResponse, 0.0);
+    EXPECT_GT(result.avgPower, 0.0);
+    EXPECT_GT(result.elapsed, 0.0);
+    EXPECT_GE(result.extra("s3_residency"), 0.0);
+    EXPECT_THROW(result.extra("no_such_metric"), ConfigError);
+}
+
+TEST(ExperimentRunner, ParallelRunBitMatchesSequential)
+{
+    // A mixed 2x2 grid (two strategies, two update intervals) over a
+    // short flat trace: a sequential run and a 2-worker pooled run of
+    // the same specs must agree bit for bit, because every random
+    // stream is derived from the scenario's own seed.
+    const std::vector<SweepAxis> axes = {
+        sweepStrategies({"SS", "R2H(C6)"}),
+        sweepEpochMinutes({5, 10}),
+    };
+
+    ExperimentRunner sequential(1);
+    sequential.addGrid(flatBase(), axes);
+    ExperimentRunner pooled(2);
+    pooled.addGrid(flatBase(), axes);
+    ASSERT_EQ(sequential.scenarios().size(), 4u);
+
+    const auto a = sequential.run();
+    const auto b = pooled.run();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].spec.label, b[i].spec.label);
+        EXPECT_EQ(a[i].meanResponse, b[i].meanResponse) << i;
+        EXPECT_EQ(a[i].p95Response, b[i].p95Response) << i;
+        EXPECT_EQ(a[i].avgPower, b[i].avgPower) << i;
+        EXPECT_EQ(a[i].energy, b[i].energy) << i;
+        EXPECT_EQ(a[i].elapsed, b[i].elapsed) << i;
+        EXPECT_EQ(a[i].jobs, b[i].jobs) << i;
+        EXPECT_EQ(a[i].withinBudget, b[i].withinBudget) << i;
+    }
+
+    // And the comparison is meaningful: the strategies diverge.
+    EXPECT_NE(a[0].avgPower, a[2].avgPower);
+}
+
+TEST(ExperimentRunner, ResultsExportUniformSchema)
+{
+    ExperimentRunner runner(2);
+    runner.add(ScenarioBuilder("single one")
+                   .workload("dns")
+                   .flatTrace(0.15, 20)
+                   .strategy("R2H(C6)")
+                   .predictor("NP")
+                   .seed(5)
+                   .build());
+    runner.add(ScenarioBuilder("mc one")
+                   .engine(EngineKind::Multicore)
+                   .workload("dns")
+                   .idealizedWorkload()
+                   .cores(2)
+                   .rho(0.2)
+                   .jobCount(1000)
+                   .seed(5)
+                   .build());
+    const auto results = runner.run();
+
+    const std::string csv = resultsToCsvString(results);
+    const std::size_t rows =
+        std::count(csv.begin(), csv.end(), '\n');
+    EXPECT_EQ(rows, results.size() + 1); // header + one line per row
+    // Engine-specific extras become union columns.
+    EXPECT_NE(csv.find("epochs"), std::string::npos);
+    EXPECT_NE(csv.find("s3_residency"), std::string::npos);
+    EXPECT_NE(csv.find("\"single one\"") != std::string::npos ||
+                      csv.find("single one") != std::string::npos,
+              false);
+}
+
+TEST(ExperimentRunner, CaptureEpochsProducesPerEpochTable)
+{
+    const ScenarioSpec spec = ScenarioBuilder("epochs")
+                                  .workload("dns")
+                                  .flatTrace(0.15, 20)
+                                  .strategy("R2H(C6)")
+                                  .predictor("NP")
+                                  .epochMinutes(5)
+                                  .seed(5)
+                                  .captureEpochs()
+                                  .build();
+    const ScenarioResult result =
+        ExperimentRunner::runScenario(spec);
+    EXPECT_EQ(result.epochs.rows.size(), result.extra("epochs"));
+    EXPECT_NO_THROW(result.epochs.column("avg_power_w"));
+}
+
+} // namespace
+} // namespace sleepscale

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Local CI entry point — the same steps .github/workflows/ci.yml runs.
+#
+#   tools/ci.sh [build-dir]
+#
+# Configures with warnings-as-on (-Wall -Wextra are baked into
+# CMakeLists.txt), builds everything, and runs the full ctest suite.
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+ctest --test-dir "$build_dir" --output-on-failure -j \
+      "$(nproc 2>/dev/null || echo 4)"

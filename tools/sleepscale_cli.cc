@@ -10,24 +10,37 @@
  *   sleepscale run    [--trace es|fs|<file.csv>] [--workload dns]
  *                     [--T 5] [--alpha 0.35] [--predictor LC]
  *                     [--rho-b 0.8] [--days 1] [--seed 1]
- *                     [--epochs-csv out.csv]
+ *                     [--strategy SS] [--epochs-csv out.csv]
  *   sleepscale trace  [--kind es|fs] [--days 3] [--seed 42]
  *                     [--out trace.csv]
  *   sleepscale farm   [--servers 4] [--dispatcher packing]
  *                     [--trace es|fs] [--workload dns] [--T 5]
  *                     [--alpha 0.35] [--seed 1]
+ *   sleepscale grid   [--engine single|farm] [--sweep-T 1,5,10]
+ *                     [--sweep-predictor LC,NP] [--sweep-strategy ...]
+ *                     [--sweep-dispatcher ...] [--sweep-servers ...]
+ *                     [--sweep-alpha ...] [--threads 0] [--csv out.csv]
+ *                     plus any base option of run/farm
+ *
+ * run, farm, and grid are thin shells over the unified experiment API:
+ * they describe a ScenarioSpec (or a sweep grid of them) and hand it to
+ * ExperimentRunner, which executes grids concurrently. Every component
+ * is resolved by registry name, so `--dispatcher pakcing` fails fast
+ * listing the registered spellings.
  *
  * Every command prints aligned tables to stdout; numbers are watts and
  * seconds unless stated otherwise.
  */
 
 #include <iostream>
+#include <sstream>
 
 #include "analytic/mm1_sleep.hh"
 #include "core/policy_manager.hh"
-#include "core/runtime.hh"
+#include "core/predictor.hh"
 #include "core/strategies.hh"
-#include "farm/farm_runtime.hh"
+#include "experiment/runner.hh"
+#include "farm/dispatcher.hh"
 #include "util/cli_args.hh"
 #include "util/error.hh"
 #include "util/table_printer.hh"
@@ -38,33 +51,15 @@ using namespace sleepscale;
 namespace {
 
 const std::set<std::string> knownOptions = {
-    "workload", "rho",   "state",      "fstep", "jobs",    "seed",
-    "rho-b",    "metric", "analytic",  "trace", "T",       "alpha",
-    "predictor", "days",  "epochs-csv", "kind",  "out",     "servers",
-    "dispatcher", "help",
+    "workload",   "rho",        "state",      "fstep",
+    "jobs",       "seed",       "rho-b",      "metric",
+    "analytic",   "trace",      "T",          "alpha",
+    "predictor",  "days",       "epochs-csv", "kind",
+    "out",        "servers",    "dispatcher", "strategy",
+    "engine",     "threads",    "csv",        "sweep-T",
+    "sweep-predictor", "sweep-strategy", "sweep-dispatcher",
+    "sweep-servers", "sweep-alpha", "help",
 };
-
-WorkloadSpec
-workloadByName(const std::string &name)
-{
-    if (name == "dns")
-        return dnsWorkload();
-    if (name == "mail")
-        return mailWorkload();
-    if (name == "google")
-        return googleWorkload();
-    fatal("unknown workload '" + name + "' (dns | mail | google)");
-}
-
-UtilizationTrace
-traceByName(const std::string &name, unsigned days, std::uint64_t seed)
-{
-    if (name == "es")
-        return synthEmailStoreTrace(days, seed).dailyWindow(2, 20);
-    if (name == "fs")
-        return synthFileServerTrace(days, seed).dailyWindow(2, 20);
-    return UtilizationTrace::load(name);
-}
 
 QosMetric
 metricByName(const std::string &name)
@@ -74,6 +69,74 @@ metricByName(const std::string &name)
     if (name == "tail")
         return QosMetric::TailResponse;
     fatal("unknown metric '" + name + "' (mean | tail)");
+}
+
+double
+numberOrFatal(const std::string &item, const std::string &option)
+{
+    try {
+        std::size_t used = 0;
+        const double value = std::stod(item, &used);
+        fatalIf(used != item.size(),
+                "--" + option + ": bad number '" + item + "'");
+        return value;
+    } catch (const ConfigError &) {
+        throw;
+    } catch (const std::exception &) {
+        fatal("--" + option + ": bad number '" + item + "'");
+    }
+}
+
+unsigned long
+positiveIntOrFatal(const std::string &item, const std::string &option)
+{
+    const double value = numberOrFatal(item, option);
+    fatalIf(value < 1.0 || value > 1e9 ||
+                value != static_cast<double>(
+                             static_cast<unsigned long>(value)),
+            "--" + option + ": '" + item +
+                "' must be a positive integer");
+    return static_cast<unsigned long>(value);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &text)
+{
+    std::vector<std::string> items;
+    std::istringstream in(text);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (!item.empty())
+            items.push_back(item);
+    }
+    return items;
+}
+
+/** The scenario described by the shared base options of run/farm/grid. */
+ScenarioBuilder
+scenarioFromArgs(const CliArgs &args, EngineKind engine)
+{
+    ScenarioBuilder builder(toString(engine));
+    builder.engine(engine)
+        .workload(args.get("workload", "dns"))
+        .strategy(args.get("strategy", "SS"))
+        .epochMinutes(
+            static_cast<unsigned>(args.getUnsigned("T", 5)))
+        .overProvision(args.getDouble("alpha", 0.35))
+        .rhoB(args.getDouble("rho-b", 0.8))
+        .qosMetric(metricByName(args.get("metric", "mean")))
+        .predictor(args.get("predictor", "LC"))
+        .farmSize(args.getUnsigned("servers", 4))
+        .dispatcher(args.get("dispatcher", "packing"))
+        .seed(args.getUnsigned("seed", 1));
+
+    const std::string trace = args.get("trace", "es");
+    builder.trace(trace)
+        .traceDays(static_cast<unsigned>(args.getUnsigned("days", 1)))
+        .traceSeed(20140614);
+    if (trace == "es" || trace == "fs")
+        builder.window(2, 20); // The paper's evaluation window.
+    return builder;
 }
 
 int
@@ -154,52 +217,31 @@ cmdSelect(const CliArgs &args)
 int
 cmdRun(const CliArgs &args)
 {
-    const WorkloadSpec workload =
-        workloadByName(args.get("workload", "dns"));
-    const auto days =
-        static_cast<unsigned>(args.getUnsigned("days", 1));
-    const std::uint64_t seed = args.getUnsigned("seed", 1);
-    const UtilizationTrace trace =
-        traceByName(args.get("trace", "es"), days, 20140614);
+    ScenarioBuilder builder =
+        scenarioFromArgs(args, EngineKind::SingleServer);
+    if (args.has("epochs-csv"))
+        builder.captureEpochs();
+    const ScenarioResult result =
+        ExperimentRunner::runScenario(builder.build());
 
-    RuntimeConfig config;
-    config.epochMinutes =
-        static_cast<unsigned>(args.getUnsigned("T", 5));
-    config.overProvision = args.getDouble("alpha", 0.35);
-    config.rhoB = args.getDouble("rho-b", 0.8);
-    config.qosMetric = metricByName(args.get("metric", "mean"));
-
-    const PlatformModel platform = PlatformModel::xeon();
-    const SleepScaleRuntime runtime(platform, workload, config);
-
-    Rng rng(seed);
-    const auto jobs = generateTraceDrivenJobs(rng, workload, trace);
-    const auto predictor = makePredictor(args.get("predictor", "LC"),
-                                         10, trace.values());
-    const RuntimeResult result = runtime.run(jobs, trace, *predictor);
-
-    std::cout << "jobs:          " << jobs.size() << '\n'
-              << "mean response: " << result.meanResponse() << " s  ("
-              << result.meanResponse() / workload.serviceMean
-              << " service times)\n"
-              << "p95 response:  " << result.p95Response() << " s\n"
-              << "avg power:     " << result.avgPower() << " W\n"
+    std::cout << "jobs:          " << result.jobs << '\n'
+              << "mean response: " << result.meanResponse << " s  ("
+              << result.normalizedMean << " service times)\n"
+              << "p95 response:  " << result.p95Response << " s\n"
+              << "avg power:     " << result.avgPower << " W\n"
               << "within budget: "
-              << (result.withinBudget() ? "yes" : "no") << '\n';
+              << (result.withinBudget ? "yes" : "no") << '\n';
 
-    const auto fractions = result.stateSelectionFractions();
     std::cout << "state mix:    ";
-    for (std::size_t i = 0; i < fractions.size(); ++i) {
-        if (fractions[i] > 0.0) {
-            std::cout << ' ' << toString(allLowPowerStates[i]) << '='
-                      << fractions[i];
-        }
+    for (const auto &[key, value] : result.extras) {
+        if (key.rfind("state_", 0) == 0)
+            std::cout << ' ' << key.substr(6) << '=' << value;
     }
     std::cout << '\n';
 
     if (args.has("epochs-csv")) {
         const std::string path = args.get("epochs-csv", "epochs.csv");
-        writeCsvFile(path, epochsToCsv(result));
+        writeCsvFile(path, result.epochs);
         std::cout << "per-epoch CSV written to " << path << '\n';
     }
     return 0;
@@ -227,40 +269,86 @@ cmdTrace(const CliArgs &args)
 int
 cmdFarm(const CliArgs &args)
 {
-    const WorkloadSpec workload =
-        workloadByName(args.get("workload", "dns"));
-    const UtilizationTrace trace = traceByName(
-        args.get("trace", "es"),
-        static_cast<unsigned>(args.getUnsigned("days", 1)), 20140614);
+    const ScenarioSpec spec =
+        scenarioFromArgs(args, EngineKind::Farm).build();
+    const ScenarioResult result =
+        ExperimentRunner::runScenario(spec);
 
-    FarmRuntimeConfig config;
-    config.farmSize = args.getUnsigned("servers", 4);
-    config.dispatcher = args.get("dispatcher", "packing");
-    config.perServer.epochMinutes =
-        static_cast<unsigned>(args.getUnsigned("T", 5));
-    config.perServer.overProvision = args.getDouble("alpha", 0.35);
-    config.perServer.rhoB = args.getDouble("rho-b", 0.8);
-
-    const PlatformModel platform = PlatformModel::xeon();
-    const FarmRuntime runtime(platform, workload, config);
-
-    Rng rng(args.getUnsigned("seed", 1));
-    const auto jobs =
-        generateFarmJobs(rng, workload, trace, config.farmSize);
-    LmsCusumPredictor predictor(10);
-    const FarmRuntimeResult result =
-        runtime.run(jobs, trace, predictor);
-
-    std::cout << "servers:       " << config.farmSize << " ("
-              << config.dispatcher << ")\n"
-              << "jobs:          " << jobs.size() << '\n'
-              << "mean response: " << result.meanResponse() << " s\n"
-              << "farm power:    " << result.avgPower() << " W  ("
-              << result.avgPower() /
-                     static_cast<double>(config.farmSize)
-              << " W/server)\n"
+    std::cout << "servers:       " << spec.farmSize << " ("
+              << spec.dispatcher << ")\n"
+              << "jobs:          " << result.jobs << '\n'
+              << "mean response: " << result.meanResponse << " s\n"
+              << "farm power:    " << result.avgPower << " W  ("
+              << result.extra("per_server_w") << " W/server)\n"
               << "within budget: "
-              << (result.withinBudget() ? "yes" : "no") << '\n';
+              << (result.withinBudget ? "yes" : "no") << '\n';
+    return 0;
+}
+
+int
+cmdGrid(const CliArgs &args)
+{
+    const std::string engine_name = args.get("engine", "single");
+    EngineKind engine = EngineKind::SingleServer;
+    if (engine_name == "farm")
+        engine = EngineKind::Farm;
+    else if (engine_name != "single")
+        fatal("grid: unknown engine '" + engine_name +
+              "' (single | farm)");
+
+    const ScenarioSpec base = scenarioFromArgs(args, engine).build();
+
+    std::vector<SweepAxis> axes;
+    if (args.has("sweep-T")) {
+        std::vector<unsigned> values;
+        for (const std::string &item :
+             splitCsv(args.get("sweep-T", "")))
+            values.push_back(static_cast<unsigned>(
+                positiveIntOrFatal(item, "sweep-T")));
+        axes.push_back(sweepEpochMinutes(values));
+    }
+    if (args.has("sweep-alpha")) {
+        std::vector<double> values;
+        for (const std::string &item :
+             splitCsv(args.get("sweep-alpha", "")))
+            values.push_back(numberOrFatal(item, "sweep-alpha"));
+        axes.push_back(sweepOverProvision(values));
+    }
+    if (args.has("sweep-predictor"))
+        axes.push_back(
+            sweepPredictors(splitCsv(args.get("sweep-predictor", ""))));
+    if (args.has("sweep-strategy"))
+        axes.push_back(
+            sweepStrategies(splitCsv(args.get("sweep-strategy", ""))));
+    if (args.has("sweep-dispatcher"))
+        axes.push_back(sweepDispatchers(
+            splitCsv(args.get("sweep-dispatcher", ""))));
+    if (args.has("sweep-servers")) {
+        std::vector<std::size_t> values;
+        for (const std::string &item :
+             splitCsv(args.get("sweep-servers", "")))
+            values.push_back(static_cast<std::size_t>(
+                positiveIntOrFatal(item, "sweep-servers")));
+        axes.push_back(sweepFarmSizes(values));
+    }
+    fatalIf(axes.empty(),
+            "grid: give at least one --sweep-* axis "
+            "(--sweep-T, --sweep-alpha, --sweep-predictor, "
+            "--sweep-strategy, --sweep-dispatcher, --sweep-servers)");
+
+    ExperimentRunner runner(args.getUnsigned("threads", 0));
+    runner.addGrid(base, axes);
+    std::cout << runner.scenarios().size()
+              << " scenarios queued; running...\n\n";
+
+    const auto results = runner.run();
+    resultsTable(results).print(std::cout);
+
+    if (args.has("csv")) {
+        const std::string path = args.get("csv", "grid.csv");
+        writeResultsCsv(path, results);
+        std::cout << "\nresults CSV written to " << path << '\n';
+    }
     return 0;
 }
 
@@ -276,6 +364,13 @@ printUsage()
         "  run      trace-driven SleepScale day on one server\n"
         "  trace    generate a synthetic utilization trace CSV\n"
         "  farm     trace-driven SleepScale on a dispatched farm\n"
+        "  grid     sweep a scenario grid in parallel, table/CSV out\n"
+        "\n"
+        "registered components:\n"
+        "  workloads:   " + workloadRegistry().namesCsv() + "\n"
+        "  predictors:  " + predictorRegistry().namesCsv() + "\n"
+        "  strategies:  " + strategyRegistry().namesCsv() + "\n"
+        "  dispatchers: " + dispatcherRegistry().namesCsv() + "\n"
         "\n"
         "run `sleepscale <command> --help` semantics are documented at\n"
         "the top of tools/sleepscale_cli.cc and in the README.\n";
@@ -303,6 +398,8 @@ main(int argc, char **argv)
             return cmdTrace(args);
         if (command == "farm")
             return cmdFarm(args);
+        if (command == "grid")
+            return cmdGrid(args);
         std::cerr << "unknown command '" << command << "'\n\n";
         printUsage();
         return 1;
