@@ -8,7 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "analytic/mm1_sleep.hh"
+#include "core/eval_engine.hh"
 #include "core/policy_manager.hh"
 #include "experiment/runner.hh"
 #include "power/platform_model.hh"
@@ -27,6 +31,12 @@ benchJobs(std::size_t count)
     ExponentialDist gaps(0.194 / 0.3);
     ExponentialDist sizes(0.194);
     return generateJobs(rng, gaps, sizes, count);
+}
+
+QosConstraint
+benchQos()
+{
+    return QosConstraint::fromBaselineMean(0.8, 0.194);
 }
 
 /** One policy characterization over a 10k-job log (paper: 6.3 ms). */
@@ -71,13 +81,117 @@ BM_PolicyManagerDecision(benchmark::State &state)
 {
     const PlatformModel xeon = PlatformModel::xeon();
     const auto jobs = benchJobs(4000);
-    const PolicyManager manager(
-        xeon, ServiceScaling::cpuBound(), PolicySpace::standard(),
-        QosConstraint::fromBaselineMean(0.8, 0.194));
+    const PolicyManager manager(xeon, ServiceScaling::cpuBound(),
+                                PolicySpace::standard(), benchQos());
     for (auto _ : state)
         benchmark::DoNotOptimize(manager.selectFromLog(jobs));
 }
 BENCHMARK(BM_PolicyManagerDecision);
+
+/** One allocation-free reset-and-replay candidate evaluation over a
+ * prepared 10k-job log — the engine's per-candidate inner kernel. */
+void
+BM_PreparedReplay10k(benchmark::State &state)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const PreparedLog log = PreparedLog::fromJobs(benchJobs(10000));
+    const Policy policy{0.7, SleepPlan::immediate(LowPowerState::C6S3)};
+    const MaterializedPlan plan(policy.plan, xeon, policy.frequency);
+    ServerSim arena(xeon, ServiceScaling::cpuBound(), policy);
+    for (auto _ : state) {
+        arena.reset(policy.frequency, plan);
+        benchmark::DoNotOptimize(arena.replay(log));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            10000);
+}
+BENCHMARK(BM_PreparedReplay10k);
+
+/** Full policy-space selection over a 10k-job log through the batched
+ * engine (plan cache + reset-and-replay arenas), serial. The headline
+ * number: compare against BM_SelectFromLogNaive, the pre-engine path. */
+void
+BM_SelectFromLog(benchmark::State &state)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const auto jobs = benchJobs(10000);
+    PolicyEvalEngine engine(xeon, ServiceScaling::cpuBound(),
+                            PolicySpace::standard(), benchQos());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.selectFromLog(jobs));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(engine.lifetimeEvaluations()) * 10000);
+}
+BENCHMARK(BM_SelectFromLog);
+
+/** The pre-engine baseline the engine replaces: one fresh ServerSim
+ * (and plan materialization) per candidate, streamed job by job —
+ * exactly what PolicyManager::selectFromLog executed before the
+ * batched engine existed. Kept so the speedup stays measurable. */
+void
+BM_SelectFromLogNaive(benchmark::State &state)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const auto jobs = benchJobs(10000);
+    const PolicySpace space = PolicySpace::standard();
+    const QosConstraint qos = benchQos();
+    const double rho = PolicyManager::logOfferedLoad(jobs);
+    // The paper's stability floor, as the old serial loop applied it.
+    const double f_floor = std::min(rho + 0.01, 0.999);
+
+    for (auto _ : state) {
+        double best_power = std::numeric_limits<double>::infinity();
+        Policy best;
+        for (const SleepPlan &plan : space.plans) {
+            for (double f : space.frequencies) {
+                if (f < f_floor)
+                    continue;
+                const Policy candidate{f, plan};
+                const PolicyEvaluation eval = evaluatePolicy(
+                    xeon, ServiceScaling::cpuBound(), candidate, jobs);
+                const double metric = qos.measuredValue(eval.stats);
+                if (metric <= qos.budget() &&
+                    eval.avgPower() < best_power) {
+                    best_power = eval.avgPower();
+                    best = candidate;
+                }
+            }
+        }
+        benchmark::DoNotOptimize(best);
+    }
+}
+BENCHMARK(BM_SelectFromLogNaive);
+
+/** Engine selection with parallel candidate fan-out (bit-identical
+ * decisions at any width). */
+void
+BM_SelectFromLogParallel(benchmark::State &state)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const auto jobs = benchJobs(10000);
+    EvalEngineOptions options;
+    options.threads = static_cast<std::size_t>(state.range(0));
+    PolicyEvalEngine engine(xeon, ServiceScaling::cpuBound(),
+                            PolicySpace::standard(), benchQos(), options);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.selectFromLog(jobs));
+}
+BENCHMARK(BM_SelectFromLogParallel)->Arg(2)->Arg(8);
+
+/** Engine selection with the pruned (binary-search) frequency scan. */
+void
+BM_SelectFromLogPruned(benchmark::State &state)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const auto jobs = benchJobs(10000);
+    EvalEngineOptions options;
+    options.pruned = true;
+    PolicyEvalEngine engine(xeon, ServiceScaling::cpuBound(),
+                            PolicySpace::standard(), benchQos(), options);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.selectFromLog(jobs));
+}
+BENCHMARK(BM_SelectFromLogPruned);
 
 /** The closed-form alternative the paper suggests as future work. */
 void

@@ -1,0 +1,269 @@
+#include "core/eval_engine.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+PolicyEvalEngine::PolicyEvalEngine(const PlatformModel &platform,
+                                   ServiceScaling scaling,
+                                   PolicySpace space, QosConstraint qos,
+                                   EvalEngineOptions options)
+    : _platform(platform), _scaling(scaling), _space(std::move(space)),
+      _qos(qos), _options(options)
+{
+    fatalIf(_space.plans.empty() || _space.frequencies.empty(),
+            "PolicyEvalEngine: empty policy space");
+    for (double f : _space.frequencies) {
+        fatalIf(f <= 0.0 || f > 1.0,
+                "PolicyEvalEngine: frequencies must be in (0, 1]");
+    }
+    if (_options.pruned) {
+        for (std::size_t i = 1; i < _space.frequencies.size(); ++i) {
+            fatalIf(_space.frequencies[i] <= _space.frequencies[i - 1],
+                    "PolicyEvalEngine: pruned search needs a strictly "
+                    "increasing frequency grid");
+        }
+    }
+
+    // Materialize the whole (plan, frequency) cross product once; the
+    // space is static, so every subsequent selection reuses it.
+    _materialized.reserve(_space.size());
+    for (const SleepPlan &plan : _space.plans) {
+        for (double f : _space.frequencies)
+            _materialized.emplace_back(plan, _platform, f);
+    }
+
+    if (_options.threads != 1)
+        _pool = std::make_unique<ThreadPool>(_options.threads);
+    const std::size_t lanes = _pool ? _pool->size() : 1;
+    _arenas.reserve(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        _arenas.push_back(
+            std::make_unique<ServerSim>(_platform, _scaling, Policy{}));
+    }
+    _outcomes.resize(_space.size());
+}
+
+const MaterializedPlan &
+PolicyEvalEngine::materialized(std::size_t plan_idx,
+                               std::size_t freq_idx) const
+{
+    fatalIf(plan_idx >= _space.plans.size() ||
+                freq_idx >= _space.frequencies.size(),
+            "PolicyEvalEngine::materialized: index out of range");
+    return _materialized[plan_idx * _space.frequencies.size() + freq_idx];
+}
+
+double
+PolicyEvalEngine::minStableFrequency(double rho) const
+{
+    // Stability needs µ f^a > λ, i.e. f > ρ^{1/a}; keep the paper's
+    // +0.01 margin. Memory-bound work (a = 0) is stable at any f as long
+    // as ρ < 1.
+    const double margin = std::min(rho + 0.01, 0.999);
+    if (_scaling.exponent == 0.0)
+        return rho < 1.0 ? 0.0 : 1.0;
+    return std::pow(margin, 1.0 / _scaling.exponent);
+}
+
+void
+PolicyEvalEngine::evaluateCandidate(std::size_t index,
+                                    const PreparedLog &log,
+                                    std::size_t lane, bool record_tail)
+{
+    Outcome &outcome = _outcomes[index];
+    if (outcome.evaluated)
+        return;
+    const std::size_t freq_idx = index % _space.frequencies.size();
+    ServerSim &arena = *_arenas[lane];
+    arena.reset(_space.frequencies[freq_idx], _materialized[index]);
+    const SimStats &stats = arena.replay(log, record_tail);
+    outcome.power = stats.avgPower();
+    outcome.metric = _qos.measuredValue(stats);
+    outcome.evaluated = true;
+}
+
+PolicyDecision
+PolicyEvalEngine::reduce(std::uint64_t evaluated) const
+{
+    // Scan outcomes in candidate-index order — the same plan-major,
+    // grid-order walk the serial nested loop performs — with strict
+    // comparisons, so any fan-out width and the pruned mode agree with
+    // exhaustive serial search down to tie-breaking.
+    const std::size_t freqs = _space.frequencies.size();
+    PolicyDecision best;
+    PolicyDecision fallback; // Best-effort: minimum metric value.
+    double best_power = std::numeric_limits<double>::infinity();
+    double fallback_metric = std::numeric_limits<double>::infinity();
+    std::size_t best_index = 0;
+    std::size_t fallback_index = 0;
+
+    for (std::size_t index = 0; index < _outcomes.size(); ++index) {
+        const Outcome &outcome = _outcomes[index];
+        if (!outcome.evaluated)
+            continue;
+        if (outcome.metric <= _qos.budget() &&
+            outcome.power < best_power) {
+            best_power = outcome.power;
+            best.feasible = true;
+            best.predictedPower = outcome.power;
+            best.predictedMetric = outcome.metric;
+            best_index = index;
+        }
+        if (outcome.metric < fallback_metric) {
+            fallback_metric = outcome.metric;
+            fallback.predictedPower = outcome.power;
+            fallback.predictedMetric = outcome.metric;
+            fallback_index = index;
+        }
+    }
+
+    PolicyDecision decision = best.feasible ? best : fallback;
+    const std::size_t winner = best.feasible ? best_index : fallback_index;
+    decision.policy = Policy{_space.frequencies[winner % freqs],
+                             _space.plans[winner / freqs]};
+    decision.evaluated = evaluated;
+    return decision;
+}
+
+PolicyDecision
+PolicyEvalEngine::exhaustiveSearch(const PreparedLog &log, double f_floor,
+                                   bool record_tail)
+{
+    const std::size_t freqs = _space.frequencies.size();
+    _candidates.clear();
+    for (std::size_t index = 0; index < _outcomes.size(); ++index) {
+        if (_space.frequencies[index % freqs] >= f_floor &&
+            !_outcomes[index].evaluated)
+            _candidates.push_back(static_cast<std::uint32_t>(index));
+    }
+
+    auto evaluate = [&](std::size_t i, std::size_t lane) {
+        evaluateCandidate(_candidates[i], log, lane, record_tail);
+    };
+    if (_pool)
+        _pool->parallelFor(_candidates.size(), evaluate);
+    else
+        for (std::size_t i = 0; i < _candidates.size(); ++i)
+            evaluate(i, 0);
+
+    std::uint64_t evaluated = 0;
+    for (const Outcome &outcome : _outcomes)
+        evaluated += outcome.evaluated ? 1 : 0;
+    fatalIf(evaluated == 0,
+            "PolicyEvalEngine::selectFromLog: no stable candidate; "
+            "offered load too high for the frequency grid");
+    return reduce(evaluated);
+}
+
+PolicyDecision
+PolicyEvalEngine::prunedSearch(const PreparedLog &log, double f_floor,
+                               bool record_tail)
+{
+    const std::size_t freqs = _space.frequencies.size();
+    const std::size_t plans = _space.plans.size();
+
+    // The frequency grid is ascending (validated at construction), so
+    // the stable set is a suffix starting at first_stable.
+    std::size_t first_stable = freqs;
+    for (std::size_t k = 0; k < freqs; ++k) {
+        if (_space.frequencies[k] >= f_floor) {
+            first_stable = k;
+            break;
+        }
+    }
+    fatalIf(first_stable == freqs,
+            "PolicyEvalEngine::selectFromLog: no stable candidate; "
+            "offered load too high for the frequency grid");
+
+    // Phase A: per plan, binary-search the first feasible frequency
+    // (the QoS metric is assumed nonincreasing in f within a plan).
+    std::vector<std::size_t> boundary(plans, freqs); // freqs = none.
+    auto search_plan = [&](std::size_t p, std::size_t lane) {
+        const std::size_t base = p * freqs;
+        std::size_t lo = first_stable;
+        std::size_t hi = freqs - 1;
+        evaluateCandidate(base + hi, log, lane, record_tail);
+        if (_outcomes[base + hi].metric > _qos.budget())
+            return; // Even f_max misses the budget: nothing feasible.
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            evaluateCandidate(base + mid, log, lane, record_tail);
+            if (_outcomes[base + mid].metric <= _qos.budget())
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        boundary[p] = lo;
+    };
+    if (_pool)
+        _pool->parallelFor(plans, search_plan);
+    else
+        for (std::size_t p = 0; p < plans; ++p)
+            search_plan(p, 0);
+
+    // Phase B: characterize every feasible candidate (the suffix above
+    // each plan's boundary) for the power reduction.
+    _candidates.clear();
+    bool any_feasible = false;
+    for (std::size_t p = 0; p < plans; ++p) {
+        if (boundary[p] == freqs)
+            continue;
+        any_feasible = true;
+        for (std::size_t k = boundary[p]; k < freqs; ++k) {
+            const std::size_t index = p * freqs + k;
+            if (!_outcomes[index].evaluated)
+                _candidates.push_back(
+                    static_cast<std::uint32_t>(index));
+        }
+    }
+
+    if (!any_feasible) {
+        // Best-effort fallback must match exhaustive search exactly, so
+        // characterize the whole stable set.
+        return exhaustiveSearch(log, f_floor, record_tail);
+    }
+
+    auto evaluate = [&](std::size_t i, std::size_t lane) {
+        evaluateCandidate(_candidates[i], log, lane, record_tail);
+    };
+    if (_pool)
+        _pool->parallelFor(_candidates.size(), evaluate);
+    else
+        for (std::size_t i = 0; i < _candidates.size(); ++i)
+            evaluate(i, 0);
+
+    std::uint64_t evaluated = 0;
+    for (const Outcome &outcome : _outcomes)
+        evaluated += outcome.evaluated ? 1 : 0;
+    return reduce(evaluated);
+}
+
+PolicyDecision
+PolicyEvalEngine::selectFromPrepared(const PreparedLog &log)
+{
+    const double rho = log.offeredLoad();
+    const double f_floor = minStableFrequency(rho);
+    const bool record_tail =
+        _qos.metric() == QosMetric::TailResponse;
+
+    for (Outcome &outcome : _outcomes)
+        outcome = Outcome{};
+
+    const PolicyDecision decision =
+        _options.pruned ? prunedSearch(log, f_floor, record_tail)
+                        : exhaustiveSearch(log, f_floor, record_tail);
+    _lifetimeEvaluations += decision.evaluated;
+    return decision;
+}
+
+PolicyDecision
+PolicyEvalEngine::selectFromLog(const std::vector<Job> &log)
+{
+    return selectFromPrepared(PreparedLog::fromJobs(log));
+}
+
+} // namespace sleepscale

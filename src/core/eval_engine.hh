@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The high-throughput policy-evaluation engine.
+ *
+ * SleepScale's runtime viability rests on the per-epoch candidate search
+ * being negligible next to a minutes-long epoch (paper Sections 4.1 and
+ * 5.1.1). The engine makes the search cheap through four mechanisms:
+ *
+ *  1. A MaterializedPlan cache: the (plan, frequency) cross product is
+ *     materialized against the platform once at construction — the
+ *     policy space is static, so per-epoch selections reuse it instead
+ *     of re-binding every candidate every epoch.
+ *  2. Reusable simulation arenas: one ServerSim per pool lane, driven
+ *     through the reset-and-replay path over a PreparedLog, so a
+ *     candidate evaluation performs zero heap allocation.
+ *  3. Parallel candidate fan-out on a shared ThreadPool with outcomes
+ *     stored by candidate index and reduced in index order, so a
+ *     parallel selection bit-matches the serial one.
+ *  4. An opt-in pruned mode that exploits the QoS metric's (typical)
+ *     monotonicity in frequency: per plan, the cheapest feasible
+ *     frequency boundary is binary-searched and only the feasible
+ *     suffix is characterized for power. When nothing is feasible the
+ *     engine falls back to the exhaustive scan so the best-effort
+ *     decision is still identical to exhaustive search.
+ *
+ * An engine instance is NOT thread-safe: it owns per-call scratch state.
+ * Use one engine per concurrently running controller.
+ */
+
+#ifndef SLEEPSCALE_CORE_EVAL_ENGINE_HH
+#define SLEEPSCALE_CORE_EVAL_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/policy_space.hh"
+#include "core/qos.hh"
+#include "power/platform_model.hh"
+#include "sim/server_sim.hh"
+#include "util/thread_pool.hh"
+#include "workload/job.hh"
+#include "workload/workload_spec.hh"
+
+namespace sleepscale {
+
+/** Outcome of one policy selection. */
+struct PolicyDecision
+{
+    /** The selected policy. */
+    Policy policy;
+
+    /** True if some candidate met the QoS constraint. When false the
+     * returned policy is the best-effort (fastest) candidate. */
+    bool feasible = false;
+
+    /** Predicted average power of the selection, watts. */
+    double predictedPower = 0.0;
+
+    /** Predicted value of the constrained QoS metric, seconds. */
+    double predictedMetric = 0.0;
+
+    /** Candidates actually characterized (stable ones). */
+    std::uint64_t evaluated = 0;
+};
+
+/** Search knobs of a PolicyEvalEngine. */
+struct EvalEngineOptions
+{
+    /** Candidate fan-out width: 1 searches serially on the calling
+     * thread, N > 1 uses an N-lane pool, 0 uses the hardware
+     * concurrency. Any width returns bit-identical decisions. */
+    std::size_t threads = 1;
+
+    /** Binary-search the per-plan QoS feasibility boundary in frequency
+     * instead of scanning the whole grid. Requires a strictly
+     * increasing frequency grid and assumes the QoS metric does not
+     * increase with frequency within a plan (it holds for the paper's
+     * workloads; verified against exhaustive search in the tests).
+     * Decisions are identical to exhaustive search whenever the
+     * assumption holds; `evaluated` counts only the candidates actually
+     * characterized. */
+    bool pruned = false;
+};
+
+/** Batched, allocation-free searcher over a PolicySpace. */
+class PolicyEvalEngine
+{
+  public:
+    /**
+     * @param platform Power model (not owned; must outlive the engine).
+     * @param scaling Service-time scaling law of the hosted workload.
+     * @param space Candidate plans and frequencies.
+     * @param qos Constraint candidate policies must satisfy.
+     * @param options Search knobs.
+     */
+    PolicyEvalEngine(const PlatformModel &platform, ServiceScaling scaling,
+                     PolicySpace space, QosConstraint qos,
+                     EvalEngineOptions options = {});
+
+    /**
+     * Select the best policy for an empirical job log: every stable
+     * candidate is characterized by replaying the log (paper
+     * Algorithm 1); unstable frequencies are skipped, mirroring the
+     * paper's f >= ρ + 0.01 floor.
+     *
+     * @param log Arrival-ordered jobs; needs at least two jobs.
+     */
+    PolicyDecision selectFromLog(const std::vector<Job> &log);
+
+    /** selectFromLog() over an already-preprocessed log. */
+    PolicyDecision selectFromPrepared(const PreparedLog &log);
+
+    /** The candidate space. */
+    const PolicySpace &space() const { return _space; }
+
+    /** The QoS constraint in force. */
+    const QosConstraint &qos() const { return _qos; }
+
+    /** The search knobs in force. */
+    const EvalEngineOptions &options() const { return _options; }
+
+    /** The cached materialization of plan `plan_idx` at frequency
+     * `freq_idx` (indices into space().plans / space().frequencies). */
+    const MaterializedPlan &materialized(std::size_t plan_idx,
+                                         std::size_t freq_idx) const;
+
+    /** Candidate evaluations performed over the engine's lifetime. */
+    std::uint64_t lifetimeEvaluations() const
+    {
+        return _lifetimeEvaluations;
+    }
+
+    /** Smallest stable frequency for an offered load ρ (the paper's
+     * ρ + 0.01 floor, adjusted for the scaling exponent). */
+    double minStableFrequency(double rho) const;
+
+  private:
+    /** Characterization of one candidate, stored by candidate index. */
+    struct Outcome
+    {
+        double power = 0.0;
+        double metric = 0.0;
+        bool evaluated = false;
+    };
+
+    const PlatformModel &_platform;
+    ServiceScaling _scaling;
+    PolicySpace _space;
+    QosConstraint _qos;
+    EvalEngineOptions _options;
+
+    /** Plan-major (plan_idx * |frequencies| + freq_idx) cache of the
+     * whole policy space, built once at construction. */
+    std::vector<MaterializedPlan> _materialized;
+
+    /** One reusable simulation arena per pool lane. */
+    std::vector<std::unique_ptr<ServerSim>> _arenas;
+
+    /** Shared fan-out pool (absent when options.threads == 1). */
+    std::unique_ptr<ThreadPool> _pool;
+
+    /** Per-call outcome table, reused across selections. */
+    std::vector<Outcome> _outcomes;
+
+    /** Per-call candidate list, reused across selections. */
+    std::vector<std::uint32_t> _candidates;
+
+    std::uint64_t _lifetimeEvaluations = 0;
+
+    void evaluateCandidate(std::size_t index, const PreparedLog &log,
+                           std::size_t lane, bool record_tail);
+    PolicyDecision exhaustiveSearch(const PreparedLog &log, double f_floor,
+                                    bool record_tail);
+    PolicyDecision prunedSearch(const PreparedLog &log, double f_floor,
+                                bool record_tail);
+    PolicyDecision reduce(std::uint64_t evaluated) const;
+};
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_CORE_EVAL_ENGINE_HH

@@ -10,98 +10,30 @@ namespace sleepscale {
 
 PolicyManager::PolicyManager(const PlatformModel &platform,
                              ServiceScaling scaling, PolicySpace space,
-                             QosConstraint qos)
-    : _platform(platform), _scaling(scaling), _space(std::move(space)),
-      _qos(qos)
+                             QosConstraint qos, EvalEngineOptions options)
+    : _platform(platform), _scaling(scaling),
+      _engine(std::make_unique<PolicyEvalEngine>(
+          platform, scaling, std::move(space), qos, options))
 {
-    fatalIf(_space.plans.empty() || _space.frequencies.empty(),
-            "PolicyManager: empty policy space");
-    for (double f : _space.frequencies) {
-        fatalIf(f <= 0.0 || f > 1.0,
-                "PolicyManager: frequencies must be in (0, 1]");
-    }
 }
 
 double
 PolicyManager::logOfferedLoad(const std::vector<Job> &log)
 {
-    fatalIf(log.size() < 2, "PolicyManager: log needs at least two jobs");
-    double demand = 0.0;
-    for (const Job &job : log)
-        demand += job.size;
-    const double span = log.back().arrival;
-    fatalIf(span <= 0.0, "PolicyManager: log spans no time");
-    return demand / span;
+    // Delegate so the span-from-zero convention lives in one place.
+    return PreparedLog::fromJobs(log).offeredLoad();
 }
 
 double
 PolicyManager::logMeanSize(const std::vector<Job> &log)
 {
-    fatalIf(log.empty(), "PolicyManager: empty log");
-    double demand = 0.0;
-    for (const Job &job : log)
-        demand += job.size;
-    return demand / static_cast<double>(log.size());
-}
-
-double
-PolicyManager::minStableFrequency(double rho) const
-{
-    // Stability needs µ f^a > λ, i.e. f > ρ^{1/a}; keep the paper's
-    // +0.01 margin. Memory-bound work (a = 0) is stable at any f as long
-    // as ρ < 1.
-    const double margin = std::min(rho + 0.01, 0.999);
-    if (_scaling.exponent == 0.0)
-        return rho < 1.0 ? 0.0 : 1.0;
-    return std::pow(margin, 1.0 / _scaling.exponent);
+    return PreparedLog::fromJobs(log).meanSize();
 }
 
 PolicyDecision
 PolicyManager::selectFromLog(const std::vector<Job> &log) const
 {
-    const double rho = logOfferedLoad(log);
-    const double f_floor = minStableFrequency(rho);
-
-    PolicyDecision best;
-    PolicyDecision fallback; // Best-effort: minimum metric value.
-    double best_power = std::numeric_limits<double>::infinity();
-    double fallback_metric = std::numeric_limits<double>::infinity();
-    std::uint64_t evaluated = 0;
-
-    for (const SleepPlan &plan : _space.plans) {
-        for (double f : _space.frequencies) {
-            if (f < f_floor)
-                continue;
-            const Policy candidate{f, plan};
-            const PolicyEvaluation eval =
-                evaluatePolicy(_platform, _scaling, candidate, log);
-            ++evaluated;
-
-            const double metric = _qos.measuredValue(eval.stats);
-            const double power = eval.avgPower();
-            if (metric <= _qos.budget() && power < best_power) {
-                best_power = power;
-                best.policy = candidate;
-                best.feasible = true;
-                best.predictedPower = power;
-                best.predictedMetric = metric;
-            }
-            if (metric < fallback_metric) {
-                fallback_metric = metric;
-                fallback.policy = candidate;
-                fallback.predictedPower = power;
-                fallback.predictedMetric = metric;
-            }
-        }
-    }
-
-    fatalIf(evaluated == 0,
-            "PolicyManager::selectFromLog: no stable candidate; offered "
-            "load too high for the frequency grid");
-
-    PolicyDecision decision = best.feasible ? best : fallback;
-    decision.evaluated = evaluated;
-    return decision;
+    return _engine->selectFromLog(log);
 }
 
 PolicyDecision
@@ -111,7 +43,9 @@ PolicyManager::selectAnalytic(double lambda, double mu) const
             "PolicyManager::selectAnalytic: rates must be positive");
     const MM1SleepModel model(_platform, _scaling);
     const double rho = lambda / mu;
-    const double f_floor = minStableFrequency(rho);
+    const double f_floor = _engine->minStableFrequency(rho);
+    const PolicySpace &space = _engine->space();
+    const QosConstraint &qos = _engine->qos();
 
     PolicyDecision best;
     PolicyDecision fallback;
@@ -119,17 +53,17 @@ PolicyManager::selectAnalytic(double lambda, double mu) const
     double fallback_metric = std::numeric_limits<double>::infinity();
     std::uint64_t evaluated = 0;
 
-    for (const SleepPlan &plan : _space.plans) {
-        for (double f : _space.frequencies) {
+    for (const SleepPlan &plan : space.plans) {
+        for (double f : space.frequencies) {
             if (f < f_floor)
                 continue;
             const Policy candidate{f, plan};
             const double metric =
-                _qos.analyticValue(model, candidate, lambda, mu);
+                qos.analyticValue(model, candidate, lambda, mu);
             const double power = model.meanPower(candidate, lambda, mu);
             ++evaluated;
 
-            if (metric <= _qos.budget() && power < best_power) {
+            if (metric <= qos.budget() && power < best_power) {
                 best_power = power;
                 best.policy = candidate;
                 best.feasible = true;

@@ -6,16 +6,21 @@
  * empirical job log (SleepScale proper) or (λ, µ) rates (the idealized
  * model) — characterize every candidate (frequency, sleep plan) pair and
  * return the one that minimizes average power subject to the QoS
- * constraint. Characterization of a candidate is one run of the queueing
- * simulation (Algorithm 1) over the log, or one closed-form evaluation.
+ * constraint. Log-driven selection is delegated to the batched
+ * PolicyEvalEngine (eval_engine.hh), which caches the materialized policy
+ * space and evaluates candidates on reusable, optionally parallel
+ * simulation arenas; closed-form selection evaluates the M/M/1 model
+ * directly.
  */
 
 #ifndef SLEEPSCALE_CORE_POLICY_MANAGER_HH
 #define SLEEPSCALE_CORE_POLICY_MANAGER_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/eval_engine.hh"
 #include "core/policy_space.hh"
 #include "core/qos.hh"
 #include "power/platform_model.hh"
@@ -24,26 +29,6 @@
 #include "workload/workload_spec.hh"
 
 namespace sleepscale {
-
-/** Outcome of one policy selection. */
-struct PolicyDecision
-{
-    /** The selected policy. */
-    Policy policy;
-
-    /** True if some candidate met the QoS constraint. When false the
-     * returned policy is the best-effort (fastest) candidate. */
-    bool feasible = false;
-
-    /** Predicted average power of the selection, watts. */
-    double predictedPower = 0.0;
-
-    /** Predicted value of the constrained QoS metric, seconds. */
-    double predictedMetric = 0.0;
-
-    /** Candidates actually characterized (stable ones). */
-    std::uint64_t evaluated = 0;
-};
 
 /** Searches a PolicySpace for the minimum-power QoS-feasible policy. */
 class PolicyManager
@@ -54,9 +39,11 @@ class PolicyManager
      * @param scaling Service-time scaling law of the hosted workload.
      * @param space Candidate plans and frequencies.
      * @param qos Constraint candidate policies must satisfy.
+     * @param options Candidate-search knobs (fan-out width, pruning).
      */
     PolicyManager(const PlatformModel &platform, ServiceScaling scaling,
-                  PolicySpace space, QosConstraint qos);
+                  PolicySpace space, QosConstraint qos,
+                  EvalEngineOptions options = {});
 
     /**
      * Select the best policy for an empirical job log (SleepScale mode).
@@ -65,6 +52,11 @@ class PolicyManager
      * (paper Algorithm 1); unstable frequencies (offered load at or above
      * the effective service rate) are skipped, mirroring the paper's
      * f >= ρ + 0.01 floor.
+     *
+     * const in the logical sense: the decision depends only on the log
+     * and the construction-time configuration. The engine's internal
+     * caches and arenas do mutate, so concurrent calls on one manager
+     * are not safe — use one manager per concurrent controller.
      *
      * @param log Arrival-ordered jobs; needs at least two jobs.
      */
@@ -80,10 +72,15 @@ class PolicyManager
     PolicyDecision selectAnalytic(double lambda, double mu) const;
 
     /** The QoS constraint in force. */
-    const QosConstraint &qos() const { return _qos; }
+    const QosConstraint &qos() const { return _engine->qos(); }
 
     /** The candidate space. */
-    const PolicySpace &space() const { return _space; }
+    const PolicySpace &space() const { return _engine->space(); }
+
+    /** The evaluation engine backing selectFromLog() (read-only; the
+     * manager is the only mutation path, preserving the const barrier
+     * the runtimes expose). */
+    const PolicyEvalEngine &engine() const { return *_engine; }
 
     /** Offered load of a job log: total demand / spanned time. */
     static double logOfferedLoad(const std::vector<Job> &log);
@@ -94,12 +91,10 @@ class PolicyManager
   private:
     const PlatformModel &_platform;
     ServiceScaling _scaling;
-    PolicySpace _space;
-    QosConstraint _qos;
 
-    /** Smallest stable frequency for an offered load ρ (paper's ρ+0.01
-     * floor, adjusted for the scaling exponent). */
-    double minStableFrequency(double rho) const;
+    /** Owned through a pointer so logically-const selections can drive
+     * the engine's mutable caches. */
+    std::unique_ptr<PolicyEvalEngine> _engine;
 };
 
 } // namespace sleepscale

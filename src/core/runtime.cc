@@ -55,6 +55,11 @@ SleepScaleRuntime::SleepScaleRuntime(const PlatformModel &platform,
             "SleepScaleRuntime: evalLogCap must be at least 2");
     fatalIf(_config.historyEpochs == 0,
             "SleepScaleRuntime: historyEpochs must be positive");
+    if (!_config.fixedPolicy) {
+        _manager = std::make_unique<PolicyManager>(
+            _platform, _spec.scaling, _config.space, _qos,
+            _config.search);
+    }
 }
 
 std::vector<Job>
@@ -113,8 +118,6 @@ SleepScaleRuntime::run(const std::vector<Job> &jobs,
     const std::size_t minutes = trace.size();
     const unsigned epoch_len = _config.epochMinutes;
 
-    const PolicyManager manager(_platform, _spec.scaling, _config.space,
-                                _qos);
     ServerSim sim(_platform, _spec.scaling, _config.initialPolicy);
 
     RuntimeResult result;
@@ -203,7 +206,7 @@ SleepScaleRuntime::run(const std::vector<Job> &jobs,
                     buildEvalLog(history_jobs, predicted);
                 if (log.size() >= 2) {
                     const PolicyDecision decision =
-                        manager.selectFromLog(log);
+                        _manager->selectFromLog(log);
                     current = decision.policy;
                     epoch.feasible = decision.feasible;
                     epoch.decided = true;

@@ -23,6 +23,7 @@
 #ifndef SLEEPSCALE_CORE_RUNTIME_HH
 #define SLEEPSCALE_CORE_RUNTIME_HH
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -56,6 +57,11 @@ struct RuntimeConfig
 
     /** Candidate policies for the manager. */
     PolicySpace space = PolicySpace::standard();
+
+    /** Candidate-search engine knobs: fan-out width and pruned mode
+     * (see EvalEngineOptions). Any setting yields decisions identical
+     * to the serial exhaustive search. */
+    EvalEngineOptions search;
 
     /** Cap on the evaluation-log length; longer logs keep only the most
      * recent jobs (Section 5.2.1: average behaviour from the recent past
@@ -154,11 +160,22 @@ class SleepScaleRuntime
     /** The QoS constraint derived from the configuration. */
     const QosConstraint &qos() const { return _qos; }
 
+    /** The policy manager driving per-epoch decisions (absent for
+     * fixed-policy configurations). Persistent across epochs and runs,
+     * so the engine's materialized-plan cache and arenas are built
+     * once per runtime, not once per decision. */
+    const PolicyManager *manager() const { return _manager.get(); }
+
   private:
     const PlatformModel &_platform;
     WorkloadSpec _spec;
     RuntimeConfig _config;
     QosConstraint _qos;
+
+    /** Persistent manager + evaluation engine (see manager()). Its
+     * internal arenas mutate during selection, so concurrent run()
+     * calls on one runtime instance are not safe. */
+    std::unique_ptr<PolicyManager> _manager;
 
     /**
      * Rebuild recently logged job events as an evaluation log with the

@@ -62,9 +62,12 @@ strategyRegistry()
         Registry<StrategyFactory> r("strategy");
         for (StrategyKind kind : allStrategies) {
             r.add(toString(kind), [kind](const StrategyKnobs &knobs) {
-                return makeStrategyConfig(kind, knobs.epochMinutes,
-                                          knobs.overProvision, knobs.rhoB,
-                                          knobs.qosMetric);
+                RuntimeConfig config = makeStrategyConfig(
+                    kind, knobs.epochMinutes, knobs.overProvision,
+                    knobs.rhoB, knobs.qosMetric);
+                config.search.threads = knobs.searchThreads;
+                config.search.pruned = knobs.prunedSearch;
+                return config;
             });
         }
         return r;

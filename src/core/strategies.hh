@@ -68,6 +68,13 @@ struct StrategyKnobs
     double overProvision = 0.0;     ///< Over-provisioning factor α.
     double rhoB = 0.8;              ///< Peak design utilization ρ_b.
     QosMetric qosMetric = QosMetric::MeanResponse;
+
+    /** Candidate-search fan-out width (EvalEngineOptions::threads). */
+    std::size_t searchThreads = 1;
+
+    /** Binary-search the per-plan QoS feasibility boundary instead of
+     * scanning the whole frequency grid (EvalEngineOptions::pruned). */
+    bool prunedSearch = false;
 };
 
 /** Factory signature stored in the strategy registry. */

@@ -1,10 +1,7 @@
 #include "experiment/runner.hh"
 
-#include <atomic>
 #include <cmath>
-#include <exception>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -16,6 +13,7 @@
 #include "power/platform_model.hh"
 #include "util/error.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 #include "workload/job_stream.hh"
 #include "workload/workload_spec.hh"
 
@@ -39,6 +37,8 @@ knobsOf(const ScenarioSpec &spec)
     knobs.overProvision = spec.overProvision;
     knobs.rhoB = spec.rhoB;
     knobs.qosMetric = spec.qosMetric;
+    knobs.searchThreads = spec.searchThreads;
+    knobs.prunedSearch = spec.prunedSearch;
     return knobs;
 }
 
@@ -395,40 +395,13 @@ ExperimentRunner::run() const
     if (_scenarios.empty())
         return results;
 
-    const std::size_t workers =
-        std::min(_threads, _scenarios.size());
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < _scenarios.size(); ++i)
-            results[i] = runScenario(_scenarios[i]);
-        return results;
-    }
-
-    std::atomic<std::size_t> next{0};
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
-
-    auto drain = [&] {
-        for (std::size_t i = next.fetch_add(1); i < _scenarios.size();
-             i = next.fetch_add(1)) {
-            try {
-                results[i] = runScenario(_scenarios[i]);
-            } catch (...) {
-                const std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-            }
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w)
-        pool.emplace_back(drain);
-    for (std::thread &thread : pool)
-        thread.join();
-
-    if (first_error)
-        std::rethrow_exception(first_error);
+    // Results land by scenario index, so any pool width bit-matches a
+    // sequential run; the pool propagates the first failure.
+    ThreadPool pool(std::min(_threads, _scenarios.size()));
+    pool.parallelFor(_scenarios.size(),
+                     [&](std::size_t i, std::size_t) {
+                         results[i] = runScenario(_scenarios[i]);
+                     });
     return results;
 }
 

@@ -227,6 +227,20 @@ ScenarioBuilder::predictorHistory(std::size_t taps)
 }
 
 ScenarioBuilder &
+ScenarioBuilder::searchThreads(std::size_t threads)
+{
+    _spec.searchThreads = threads;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::prunedSearch(bool on)
+{
+    _spec.prunedSearch = on;
+    return *this;
+}
+
+ScenarioBuilder &
 ScenarioBuilder::farmSize(std::size_t servers)
 {
     _spec.farmSize = servers;

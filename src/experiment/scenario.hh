@@ -93,6 +93,8 @@ struct ScenarioSpec
     QosMetric qosMetric = QosMetric::MeanResponse;
     std::string predictor = "LC";       ///< Predictor registry name.
     std::size_t predictorHistory = 10;  ///< Predictor tap count p.
+    std::size_t searchThreads = 1;      ///< Policy-search fan-out width.
+    bool prunedSearch = false;          ///< Prune the frequency scan.
 
     // Farm engine.
     std::size_t farmSize = 4;           ///< Back-end server count.
@@ -151,6 +153,10 @@ class ScenarioBuilder
     ScenarioBuilder &qosMetric(QosMetric metric);
     ScenarioBuilder &predictor(const std::string &name);
     ScenarioBuilder &predictorHistory(std::size_t taps);
+    /** Candidate-search fan-out width (1 = serial, 0 = hardware). */
+    ScenarioBuilder &searchThreads(std::size_t threads);
+    /** Binary-search the QoS feasibility boundary per plan. */
+    ScenarioBuilder &prunedSearch(bool on = true);
 
     ScenarioBuilder &farmSize(std::size_t servers);
     ScenarioBuilder &dispatcher(const std::string &name);

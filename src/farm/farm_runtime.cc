@@ -53,6 +53,11 @@ FarmRuntime::FarmRuntime(const PlatformModel &platform,
     // run()) surfaces the mistake while the configuration site is still
     // on the stack.
     dispatcherRegistry().get(_config.dispatcher);
+    if (!_config.perServer.fixedPolicy) {
+        _manager = std::make_unique<PolicyManager>(
+            _platform, _spec.scaling, _config.perServer.space, _qos,
+            _config.perServer.search);
+    }
 }
 
 FarmRuntimeResult
@@ -66,8 +71,6 @@ FarmRuntime::run(const std::vector<Job> &jobs,
     const unsigned epoch_len = _config.perServer.epochMinutes;
     const double farm_size = static_cast<double>(_config.farmSize);
 
-    const PolicyManager manager(_platform, _spec.scaling,
-                                _config.perServer.space, _qos);
     ServerFarm farm(_platform, _spec.scaling,
                     _config.perServer.initialPolicy, _config.farmSize,
                     makeDispatcher(_config.dispatcher,
@@ -139,7 +142,7 @@ FarmRuntime::run(const std::vector<Job> &jobs,
                         log.push_back({clock, history[i].size});
                     }
                     const PolicyDecision decision =
-                        manager.selectFromLog(log);
+                        _manager->selectFromLog(log);
                     current = decision.policy;
                     epoch.feasible = decision.feasible;
                     epoch.decided = true;

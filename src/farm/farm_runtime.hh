@@ -97,11 +97,21 @@ class FarmRuntime
     /** The QoS constraint derived from the configuration. */
     const QosConstraint &qos() const { return _qos; }
 
+    /** The per-epoch policy manager (absent for fixed-policy
+     * configurations). Persistent across epochs and runs so the
+     * evaluation engine's plan cache and arenas are reused. */
+    const PolicyManager *manager() const { return _manager.get(); }
+
   private:
     const PlatformModel &_platform;
     WorkloadSpec _spec;
     FarmRuntimeConfig _config;
     QosConstraint _qos;
+
+    /** Persistent manager + evaluation engine; its arenas mutate during
+     * selection, so concurrent run() calls on one instance are not
+     * safe. */
+    std::unique_ptr<PolicyManager> _manager;
 };
 
 /**

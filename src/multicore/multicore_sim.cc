@@ -57,9 +57,9 @@ MulticoreSim::corePowerAt(std::size_t core, double t) const
 void
 MulticoreSim::flushDepartures(double t)
 {
-    while (!_pending.empty() && _pending.front().first <= t) {
-        const double response = _pending.front().second;
-        _pending.pop_front();
+    while (!_pending.empty() && _pending.front().depart <= t) {
+        const double response = _pending.front().response;
+        _pending.pop();
         _stats.response.add(response);
         _stats.responseHistogram.add(response);
         ++_stats.completions;
@@ -176,7 +176,7 @@ MulticoreSim::offerJob(const Job &job)
     const double service =
         job.size * _scaling.factor(_policy.frequency);
     const double depart = service_start + service;
-    _pending.emplace_back(depart, depart - job.arrival);
+    _pending.push(depart, depart - job.arrival);
     _nextFree[core] = depart;
     return core;
 }

@@ -36,10 +36,10 @@
 #define SLEEPSCALE_MULTICORE_MULTICORE_SIM_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "power/platform_model.hh"
+#include "sim/pending_queue.hh"
 #include "sim/policy.hh"
 #include "sim/sim_stats.hh"
 #include "sim/sleep_plan.hh"
@@ -131,7 +131,7 @@ class MulticoreSim
     std::vector<double> _nextFree; ///< Per-core departure horizon.
     double _accountedUntil = 0.0;
     MulticoreStats _stats;
-    std::deque<std::pair<double, double>> _pending; ///< (depart, resp).
+    PendingQueue _pending; ///< Departures awaiting attribution.
 
     void rebuildDerived();
     void integrate(double from, double to);

@@ -7,6 +7,39 @@
 
 namespace sleepscale {
 
+PreparedLog
+PreparedLog::fromJobs(const std::vector<Job> &jobs)
+{
+    fatalIf(jobs.empty(), "PreparedLog: need at least one job");
+    PreparedLog log;
+    log.arrival.reserve(jobs.size());
+    log.size.reserve(jobs.size());
+    log.cumSize.reserve(jobs.size());
+    double cum = 0.0;
+    double last_arrival = 0.0;
+    for (const Job &job : jobs) {
+        fatalIf(job.arrival < last_arrival,
+                "PreparedLog: arrivals must be non-decreasing");
+        fatalIf(job.arrival < 0.0, "PreparedLog: negative arrival time");
+        fatalIf(job.size < 0.0, "PreparedLog: negative job size");
+        last_arrival = job.arrival;
+        cum += job.size;
+        log.arrival.push_back(job.arrival);
+        log.size.push_back(job.size);
+        log.cumSize.push_back(cum);
+    }
+    return log;
+}
+
+double
+PreparedLog::offeredLoad() const
+{
+    fatalIf(count() < 2, "PreparedLog: log needs at least two jobs");
+    const double span = arrival.back();
+    fatalIf(span <= 0.0, "PreparedLog: log spans no time");
+    return totalDemand() / span;
+}
+
 ServerSim::ServerSim(const PlatformModel &platform, ServiceScaling scaling,
                      const Policy &initial)
     : _platform(platform), _scaling(scaling), _policy(initial),
@@ -26,36 +59,37 @@ ServerSim::integrateBusy(double from, double to)
 }
 
 void
+ServerSim::accumulateIdle(double start, double end)
+{
+    // Both bounds are descent-relative (seconds since the idle start).
+    // Energy is a prefix-sum difference; residency still walks the (at
+    // most maxStages) stages the interval spans.
+    _window.energy += _plan.idleEnergy(end) - _plan.idleEnergy(start);
+    const std::size_t last = _plan.stageAt(end);
+    for (std::size_t stage = _plan.stageAt(start); stage <= last;
+         ++stage) {
+        const double lo = std::max(start, _plan.enterAfter(stage));
+        const double hi =
+            stage == last ? end
+                          : std::min(end, _plan.enterAfter(stage + 1));
+        _window.idleResidency[depthIndex(_plan.state(stage))] += hi - lo;
+    }
+}
+
+void
 ServerSim::integrateIdle(double from, double to)
 {
     if (to <= from)
         return;
-    // Both bounds are measured from the idle start (_nextFree).
-    double elapsed = from - _nextFree;
-    const double end = to - _nextFree;
-    std::size_t stage = _plan.stageAt(elapsed);
-    while (elapsed < end) {
-        double stage_end = end;
-        if (stage + 1 < _plan.size()) {
-            stage_end = std::min(end, _plan.enterAfter(stage + 1));
-        }
-        const double dt = stage_end - elapsed;
-        _window.energy += _plan.power(stage) * dt;
-        _window.idleResidency[depthIndex(_plan.state(stage))] += dt;
-        elapsed = stage_end;
-        if (stage + 1 < _plan.size() &&
-            elapsed >= _plan.enterAfter(stage + 1)) {
-            ++stage;
-        }
-    }
+    accumulateIdle(from - _nextFree, to - _nextFree);
 }
 
 void
 ServerSim::flushDepartures(double t)
 {
-    while (!_pending.empty() && _pending.front().first <= t) {
-        const double response = _pending.front().second;
-        _pending.pop_front();
+    while (!_pending.empty() && _pending.front().depart <= t) {
+        const double response = _pending.front().response;
+        _pending.pop();
         _window.response.add(response);
         _window.responseHistogram.add(response);
         ++_window.completions;
@@ -109,7 +143,7 @@ ServerSim::offerJob(const Job &job)
     const double service =
         job.size * _scaling.factor(_policy.frequency);
     const double depart = service_start + service;
-    _pending.emplace_back(depart, depart - job.arrival);
+    _pending.push(depart, depart - job.arrival);
     _nextFree = depart;
 }
 
@@ -122,6 +156,75 @@ ServerSim::setPolicy(const Policy &policy, double t)
     _policy = policy;
     _plan = MaterializedPlan(policy.plan, _platform, policy.frequency);
     _activePower = _platform.activePower(policy.frequency);
+}
+
+void
+ServerSim::reset()
+{
+    _accountedUntil = 0.0;
+    _nextFree = 0.0;
+    _pending.reset();
+    _window.reset();
+}
+
+void
+ServerSim::reset(double frequency, const MaterializedPlan &plan)
+{
+    _policy.frequency = frequency;
+    _plan = plan;
+    _activePower = _platform.activePower(frequency);
+    reset();
+}
+
+const SimStats &
+ServerSim::replay(const PreparedLog &log, bool record_tail)
+{
+    if (_accountedUntil != 0.0 || _nextFree != 0.0 || !_pending.empty())
+        fatal("ServerSim::replay: requires a freshly reset simulator");
+
+    const double factor = _scaling.factor(_policy.frequency);
+    const std::size_t n = log.count();
+    const double *arrivals = log.arrival.data();
+    const double *sizes = log.size.data();
+    double next_free = 0.0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double arrival = arrivals[i];
+        double service_start;
+        if (arrival >= next_free) {
+            // Idle period [next_free, arrival]: integrate the descent
+            // and pay the wake-up of the stage the arrival interrupts.
+            const double gap = arrival - next_free;
+            const std::size_t stage = _plan.stageAt(gap);
+            if (gap > 0.0)
+                accumulateIdle(0.0, gap);
+            const double wake = _plan.wakeLatency(stage);
+            ++_window.wakeups[depthIndex(_plan.state(stage))];
+            _window.wakeTime += wake;
+            service_start = arrival + wake;
+        } else {
+            service_start = next_free;
+        }
+
+        const double depart = service_start + sizes[i] * factor;
+        const double busy =
+            depart - (arrival >= next_free ? arrival : next_free);
+        _window.energy += _activePower * busy;
+        _window.busyTime += busy;
+
+        const double response = depart - arrival;
+        _window.response.add(response);
+        if (record_tail)
+            _window.responseHistogram.add(response);
+        ++_window.completions;
+        next_free = depart;
+    }
+
+    _window.arrivals += n;
+    _window.windowEnd = next_free;
+    _accountedUntil = next_free;
+    _nextFree = next_free;
+    return _window;
 }
 
 SimStats

@@ -22,10 +22,10 @@
 #ifndef SLEEPSCALE_SIM_SERVER_SIM_HH
 #define SLEEPSCALE_SIM_SERVER_SIM_HH
 
-#include <deque>
 #include <vector>
 
 #include "power/platform_model.hh"
+#include "sim/pending_queue.hh"
 #include "sim/policy.hh"
 #include "sim/sim_stats.hh"
 #include "sim/sleep_plan.hh"
@@ -33,6 +33,41 @@
 #include "workload/workload_spec.hh"
 
 namespace sleepscale {
+
+/**
+ * A job log preprocessed for repeated candidate evaluation.
+ *
+ * Splits the jobs into structure-of-arrays form (better locality for the
+ * replay loop, which never needs both fields of a Job at once) and keeps
+ * prefix sums of the job sizes so aggregate demand over any suffix or
+ * prefix of the log — offered load, mean size — is O(1). Validated once
+ * at construction so the per-candidate replay runs check-free.
+ */
+struct PreparedLog
+{
+    std::vector<double> arrival; ///< Arrival times, non-decreasing.
+    std::vector<double> size;    ///< Job sizes (seconds at f = 1).
+    std::vector<double> cumSize; ///< cumSize[i] = size[0] + ... + size[i].
+
+    /** Preprocess an arrival-ordered job list (needs >= 1 job). */
+    static PreparedLog fromJobs(const std::vector<Job> &jobs);
+
+    /** Number of jobs. */
+    std::size_t count() const { return arrival.size(); }
+
+    /** Total service demand, seconds at f = 1. */
+    double totalDemand() const { return cumSize.back(); }
+
+    /** Mean job size, seconds at f = 1. */
+    double meanSize() const
+    {
+        return totalDemand() / static_cast<double>(count());
+    }
+
+    /** Offered load: total demand over the spanned time (needs >= 2
+     * jobs and a positive span; fatal() otherwise). */
+    double offeredLoad() const;
+};
 
 /** Continuous FCFS single-server simulator with DVFS and sleep states. */
 class ServerSim
@@ -104,6 +139,41 @@ class ServerSim
     /** Number of departures not yet attributed to a window. */
     std::size_t pendingDepartures() const { return _pending.size(); }
 
+    /**
+     * Return to the t = 0 empty-queue state under the current policy,
+     * keeping every allocation (pending ring, histogram buckets), so
+     * the simulator can serve as a reusable evaluation arena.
+     */
+    void reset();
+
+    /**
+     * reset() and swap the operating point without re-materializing the
+     * plan: `plan` must be `policy.plan` materialized against this
+     * simulator's platform at `frequency`. Only the frequency of the
+     * stored Policy is updated — the abstract plan of policy() is NOT
+     * kept in sync (the materialized plan is authoritative here). This
+     * is the policy-evaluation engine's entry point; it performs zero
+     * heap allocation.
+     */
+    void reset(double frequency, const MaterializedPlan &plan);
+
+    /**
+     * Evaluate the current policy over a preprocessed log in one tight
+     * pass: the replay equivalent of offerJob()-per-job plus a closing
+     * advanceTo(nextFreeTime()), with identical accounting semantics
+     * but no per-job pending buffering, window flushing, or input
+     * re-validation. Requires a freshly reset() (or newly constructed)
+     * simulator; allocates nothing.
+     *
+     * @param log Preprocessed job log (at least one job).
+     * @param record_tail When false, skip the percentile histogram
+     *        (mean-only QoS searches don't need it); streaming moments
+     *        are always recorded.
+     * @return The accumulated window (valid until the next mutation).
+     */
+    const SimStats &replay(const PreparedLog &log,
+                           bool record_tail = true);
+
   private:
     const PlatformModel &_platform;
     ServiceScaling _scaling;
@@ -114,14 +184,15 @@ class ServerSim
     double _accountedUntil = 0.0; ///< Energy integrated up to here.
     double _nextFree = 0.0;       ///< Queue-empties time; idle start.
 
-    /** Departures (time, response) awaiting window attribution (FCFS
-     * keeps this ordered by departure time). */
-    std::deque<std::pair<double, double>> _pending;
+    /** Departures awaiting window attribution (FCFS keeps this ordered
+     * by departure time). */
+    PendingQueue _pending;
 
     SimStats _window;
 
     void integrateBusy(double from, double to);
     void integrateIdle(double from, double to);
+    void accumulateIdle(double start, double end);
     void flushDepartures(double t);
 };
 

@@ -1,5 +1,6 @@
 #include "sim/sleep_plan.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/error.hh"
@@ -70,28 +71,32 @@ MaterializedPlan::MaterializedPlan(const SleepPlan &plan,
                                    const PlatformModel &platform, double f)
 {
     const auto &stages = plan.stages();
-    _power.reserve(stages.size());
-    _enterAfter.reserve(stages.size());
-    _wake.reserve(stages.size());
-    _state.reserve(stages.size());
-    for (const SleepStage &stage : stages) {
-        _power.push_back(platform.lowPower(stage.state, f));
-        _enterAfter.push_back(stage.enterAfter);
-        _wake.push_back(platform.wakeLatency(stage.state));
-        _state.push_back(stage.state);
+    fatalIf(stages.size() > maxStages,
+            "MaterializedPlan: plan has more stages than low-power states");
+    _size = stages.size();
+    for (std::size_t i = 0; i < _size; ++i) {
+        _power[i] = platform.lowPower(stages[i].state, f);
+        _enterAfter[i] = stages[i].enterAfter;
+        _wake[i] = platform.wakeLatency(stages[i].state);
+        _state[i] = stages[i].state;
+    }
+    for (std::size_t i = 1; i < _size; ++i) {
+        _cumEnergy[i] = _cumEnergy[i - 1] +
+                        _power[i - 1] * (_enterAfter[i] -
+                                         _enterAfter[i - 1]);
     }
 }
 
 std::size_t
 MaterializedPlan::stageAt(double elapsed) const
 {
-    fatalIf(elapsed < 0.0, "MaterializedPlan::stageAt: negative idle time");
-    std::size_t stage = 0;
-    while (stage + 1 < _enterAfter.size() &&
-           elapsed >= _enterAfter[stage + 1]) {
-        ++stage;
-    }
-    return stage;
+    if (elapsed < 0.0)
+        fatal("MaterializedPlan::stageAt: negative idle time");
+    const double *begin = _enterAfter.data();
+    return static_cast<std::size_t>(
+               std::upper_bound(begin + 1, begin + _size, elapsed) -
+               begin) -
+           1;
 }
 
 } // namespace sleepscale

@@ -14,6 +14,7 @@
 #ifndef SLEEPSCALE_SIM_SLEEP_PLAN_HH
 #define SLEEPSCALE_SIM_SLEEP_PLAN_HH
 
+#include <array>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -84,10 +85,19 @@ class SleepPlan
 /**
  * A SleepPlan bound to a platform and frequency: concrete
  * (P_i, τ_i, w_i) triples ready for the simulator's inner loop.
+ *
+ * Storage is fixed-capacity inline arrays (a plan has at most one stage
+ * per low-power state), so a MaterializedPlan is trivially copyable and
+ * copying one into a simulation arena allocates nothing. Stage lookup is
+ * a binary search over the entry delays, and idle-energy integration is
+ * O(log S) through cumulative-energy prefix sums.
  */
 class MaterializedPlan
 {
   public:
+    /** States strictly deepen along a plan, so stages are bounded. */
+    static constexpr std::size_t maxStages = numLowPowerStates;
+
     /**
      * @param plan Abstract plan.
      * @param platform Power model supplying powers and latencies.
@@ -97,7 +107,7 @@ class MaterializedPlan
                      double f);
 
     /** Number of stages. */
-    std::size_t size() const { return _power.size(); }
+    std::size_t size() const { return _size; }
 
     /** Index of the stage occupied after `elapsed` seconds of idleness. */
     std::size_t stageAt(double elapsed) const;
@@ -114,11 +124,28 @@ class MaterializedPlan
     /** The low-power state of stage i. */
     LowPowerState state(std::size_t i) const { return _state[i]; }
 
+    /** Joules consumed from the idle start until entering stage i. */
+    double energyBeforeStage(std::size_t i) const { return _cumEnergy[i]; }
+
+    /**
+     * Joules consumed by `elapsed` seconds of uninterrupted descent
+     * from the idle start (prefix-sum lookup, O(log S)).
+     */
+    double
+    idleEnergy(double elapsed) const
+    {
+        const std::size_t stage = stageAt(elapsed);
+        return _cumEnergy[stage] +
+               _power[stage] * (elapsed - _enterAfter[stage]);
+    }
+
   private:
-    std::vector<double> _power;
-    std::vector<double> _enterAfter;
-    std::vector<double> _wake;
-    std::vector<LowPowerState> _state;
+    std::size_t _size = 0;
+    std::array<double, maxStages> _power{};
+    std::array<double, maxStages> _enterAfter{};
+    std::array<double, maxStages> _wake{};
+    std::array<double, maxStages> _cumEnergy{};
+    std::array<LowPowerState, maxStages> _state{};
 };
 
 } // namespace sleepscale

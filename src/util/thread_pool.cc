@@ -1,0 +1,104 @@
+#include "util/thread_pool.hh"
+
+namespace sleepscale {
+
+std::size_t
+ThreadPool::hardwareLanes()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t lanes)
+{
+    if (lanes == 0)
+        lanes = hardwareLanes();
+    _workers.reserve(lanes - 1);
+    for (std::size_t lane = 1; lane < lanes; ++lane)
+        _workers.emplace_back([this, lane] { workerLoop(lane); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::drain(Batch &batch, std::size_t lane)
+{
+    for (std::size_t i = batch.next.fetch_add(1); i < batch.count;
+         i = batch.next.fetch_add(1)) {
+        try {
+            (*batch.body)(i, lane);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(batch.errorMutex);
+            if (!batch.error)
+                batch.error = std::current_exception();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop(std::size_t lane)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Batch *batch = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock,
+                       [&] { return _stop || _generation != seen; });
+            if (_stop)
+                return;
+            seen = _generation;
+            batch = _batch;
+        }
+        drain(*batch, lane);
+        {
+            const std::lock_guard<std::mutex> lock(_mutex);
+            --batch->remaining;
+        }
+        _done.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count, const Body &body)
+{
+    if (count == 0)
+        return;
+    if (_workers.empty()) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i, 0);
+        return;
+    }
+
+    Batch batch;
+    batch.count = count;
+    batch.body = &body;
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        batch.remaining = _workers.size();
+        _batch = &batch;
+        ++_generation;
+    }
+    _wake.notify_all();
+
+    drain(batch, 0); // The caller is lane 0.
+
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _done.wait(lock, [&] { return batch.remaining == 0; });
+        _batch = nullptr;
+    }
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+}
+
+} // namespace sleepscale

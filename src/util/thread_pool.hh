@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A persistent worker pool for deterministic data-parallel fan-out.
+ *
+ * Extracted from ExperimentRunner's hand-rolled per-run thread vector so
+ * every layer that fans out over an index space — scenario sweeps, the
+ * policy-evaluation engine's candidate search — shares one primitive.
+ * parallelFor() hands out indices through a single atomic counter, so the
+ * assignment of items to lanes is nondeterministic but the *set* of items
+ * executed is exactly [0, count); callers that store results by item index
+ * and reduce in index order are bit-identical to a serial loop.
+ */
+
+#ifndef SLEEPSCALE_UTIL_THREAD_POOL_HH
+#define SLEEPSCALE_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sleepscale {
+
+/** Persistent pool of worker threads driving index-space loops. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param lanes Total concurrency, including the calling thread: a
+     *        pool with `lanes` = N spawns N - 1 workers and the caller
+     *        participates as lane 0. 0 selects the hardware concurrency;
+     *        1 makes parallelFor() a plain serial loop (no threads).
+     */
+    explicit ThreadPool(std::size_t lanes = 0);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Lanes available to parallelFor() (workers plus the caller). */
+    std::size_t size() const { return _workers.size() + 1; }
+
+    /** Loop body: item index in [0, count), lane index in [0, size()). */
+    using Body = std::function<void(std::size_t item, std::size_t lane)>;
+
+    /**
+     * Run body(i, lane) for every i in [0, count). Blocks until all
+     * items finish; the first exception thrown by any item is rethrown
+     * after the loop completes (remaining items still run). The lane
+     * index identifies the executing thread, so callers can maintain
+     * per-lane scratch state (e.g. simulation arenas) without locking.
+     *
+     * Not reentrant: one parallelFor() at a time per pool.
+     */
+    void parallelFor(std::size_t count, const Body &body);
+
+    /** Hardware concurrency, with a floor of 1. */
+    static std::size_t hardwareLanes();
+
+  private:
+    /** One parallelFor invocation's shared state. */
+    struct Batch
+    {
+        std::size_t count = 0;
+        const Body *body = nullptr;
+        std::atomic<std::size_t> next{0};
+        std::size_t remaining = 0; ///< Workers still draining (by _mutex).
+        std::exception_ptr error;  ///< First failure (by _errorMutex).
+        std::mutex errorMutex;
+    };
+
+    void workerLoop(std::size_t lane);
+    static void drain(Batch &batch, std::size_t lane);
+
+    std::vector<std::thread> _workers;
+    std::mutex _mutex;
+    std::condition_variable _wake;
+    std::condition_variable _done;
+    Batch *_batch = nullptr;     ///< Guarded by _mutex.
+    std::uint64_t _generation = 0;
+    bool _stop = false;
+};
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_UTIL_THREAD_POOL_HH

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Tests for the batched policy-evaluation engine: plan-cache fidelity,
+ * replay-vs-streaming equivalence, parallel-vs-serial bit-equality, and
+ * pruned-vs-exhaustive decision equivalence across the Table 5
+ * workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/eval_engine.hh"
+#include "core/policy_manager.hh"
+#include "power/platform_model.hh"
+#include "sim/pending_queue.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+#include "workload/job_stream.hh"
+#include "workload/workload_spec.hh"
+
+namespace sleepscale {
+namespace {
+
+std::vector<Job>
+poissonLog(double rho, double service_mean, std::size_t n,
+           std::uint64_t seed = 42)
+{
+    Rng rng(seed);
+    ExponentialDist gaps(service_mean / rho);
+    ExponentialDist sizes(service_mean);
+    return generateJobs(rng, gaps, sizes, n);
+}
+
+/** A workload's moment-matched log at a target utilization. */
+std::vector<Job>
+workloadLog(const WorkloadSpec &spec, double rho, std::size_t n,
+            std::uint64_t seed)
+{
+    Rng rng(seed);
+    const auto gaps = spec.makeInterArrival(rho);
+    const auto sizes = spec.makeService();
+    return generateJobs(rng, *gaps, *sizes, n);
+}
+
+void
+expectIdenticalDecisions(const PolicyDecision &a, const PolicyDecision &b)
+{
+    EXPECT_EQ(a.policy.frequency, b.policy.frequency);
+    EXPECT_EQ(a.policy.plan.toString(), b.policy.plan.toString());
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.predictedPower, b.predictedPower);
+    EXPECT_EQ(a.predictedMetric, b.predictedMetric);
+}
+
+class EvalEngineTest : public ::testing::Test
+{
+  protected:
+    PlatformModel xeon = PlatformModel::xeon();
+    QosConstraint qos = QosConstraint::fromBaselineMean(0.8, 0.194);
+};
+
+// ------------------------------------------------------- the plan cache
+
+TEST_F(EvalEngineTest, PlanCacheMatchesFreshMaterialization)
+{
+    const PolicySpace space = PolicySpace::standard();
+    PolicyEvalEngine engine(xeon, ServiceScaling::cpuBound(), space, qos);
+
+    for (std::size_t p = 0; p < space.plans.size(); ++p) {
+        for (std::size_t k = 0; k < space.frequencies.size(); ++k) {
+            const MaterializedPlan &cached = engine.materialized(p, k);
+            const MaterializedPlan fresh(space.plans[p], xeon,
+                                         space.frequencies[k]);
+            ASSERT_EQ(cached.size(), fresh.size());
+            for (std::size_t s = 0; s < fresh.size(); ++s) {
+                EXPECT_EQ(cached.power(s), fresh.power(s));
+                EXPECT_EQ(cached.enterAfter(s), fresh.enterAfter(s));
+                EXPECT_EQ(cached.wakeLatency(s), fresh.wakeLatency(s));
+                EXPECT_EQ(cached.state(s), fresh.state(s));
+                EXPECT_EQ(cached.energyBeforeStage(s),
+                          fresh.energyBeforeStage(s));
+            }
+        }
+    }
+}
+
+TEST_F(EvalEngineTest, CachePersistsAcrossSelections)
+{
+    PolicyEvalEngine engine(xeon, ServiceScaling::cpuBound(),
+                            PolicySpace::standard(), qos);
+    const auto log = poissonLog(0.3, 0.194, 3000);
+
+    const PolicyDecision first = engine.selectFromLog(log);
+    const std::uint64_t after_first = engine.lifetimeEvaluations();
+    const PolicyDecision second = engine.selectFromLog(log);
+
+    // Same log, same configuration: identical decision, and the second
+    // epoch performs the same number of evaluations over the cached
+    // space (no rebuild effects).
+    expectIdenticalDecisions(first, second);
+    EXPECT_EQ(after_first, first.evaluated);
+    EXPECT_EQ(engine.lifetimeEvaluations() - after_first,
+              second.evaluated);
+}
+
+// ------------------------------------ replay vs the streaming simulator
+
+TEST_F(EvalEngineTest, ReplayMatchesStreamingEvaluation)
+{
+    const auto jobs = poissonLog(0.25, 0.194, 8000, 7);
+    const PreparedLog prepared = PreparedLog::fromJobs(jobs);
+
+    for (const LowPowerState state : allLowPowerStates) {
+        for (const double f : {0.4, 0.7, 1.0}) {
+            const Policy policy{f, SleepPlan::immediate(state)};
+            const PolicyEvaluation streamed = evaluatePolicy(
+                xeon, ServiceScaling::cpuBound(), policy, jobs);
+
+            ServerSim arena(xeon, ServiceScaling::cpuBound(), policy);
+            arena.reset();
+            const SimStats &replayed = arena.replay(prepared);
+
+            EXPECT_EQ(replayed.completions, streamed.stats.completions);
+            EXPECT_EQ(replayed.arrivals, streamed.stats.arrivals);
+            EXPECT_NEAR(replayed.energy / streamed.stats.energy, 1.0,
+                        1e-12);
+            EXPECT_NEAR(replayed.busyTime, streamed.stats.busyTime,
+                        1e-9);
+            EXPECT_NEAR(replayed.wakeTime, streamed.stats.wakeTime,
+                        1e-9);
+            EXPECT_EQ(replayed.response.mean(),
+                      streamed.stats.response.mean());
+            EXPECT_EQ(replayed.responsePercentile(95.0),
+                      streamed.stats.responsePercentile(95.0));
+            EXPECT_DOUBLE_EQ(replayed.windowEnd,
+                             streamed.stats.windowEnd);
+            for (std::size_t i = 0; i < numLowPowerStates; ++i) {
+                EXPECT_NEAR(replayed.idleResidency[i],
+                            streamed.stats.idleResidency[i], 1e-9);
+                EXPECT_EQ(replayed.wakeups[i],
+                          streamed.stats.wakeups[i]);
+            }
+        }
+    }
+}
+
+TEST_F(EvalEngineTest, ResetKeepsArenaReusable)
+{
+    const auto jobs = poissonLog(0.2, 0.194, 2000, 11);
+    const PreparedLog prepared = PreparedLog::fromJobs(jobs);
+    const Policy policy{0.6,
+                        SleepPlan::delayed(LowPowerState::C6S3, 0.1)};
+    const MaterializedPlan plan(policy.plan, xeon, policy.frequency);
+
+    ServerSim arena(xeon, ServiceScaling::cpuBound(), Policy{});
+    arena.reset(policy.frequency, plan);
+    const double first_energy = arena.replay(prepared).energy;
+    const double first_mean = arena.currentWindow().response.mean();
+
+    // A second reset-and-replay of the same candidate is bit-identical.
+    arena.reset(policy.frequency, plan);
+    const SimStats &again = arena.replay(prepared);
+    EXPECT_EQ(again.energy, first_energy);
+    EXPECT_EQ(again.response.mean(), first_mean);
+}
+
+// ------------------------------------------- engine vs the legacy loop
+
+TEST_F(EvalEngineTest, EngineMatchesNaivePerCandidateLoop)
+{
+    const auto jobs = poissonLog(0.3, 0.194, 6000, 3);
+    const PolicySpace space = PolicySpace::standard();
+    PolicyEvalEngine engine(xeon, ServiceScaling::cpuBound(), space, qos);
+    const PolicyDecision decision = engine.selectFromLog(jobs);
+
+    // Reproduce the pre-engine selection: a fresh streaming simulation
+    // per candidate.
+    const double rho = PolicyManager::logOfferedLoad(jobs);
+    const double f_floor = engine.minStableFrequency(rho);
+    double best_power = std::numeric_limits<double>::infinity();
+    Policy best;
+    double best_metric = 0.0;
+    std::uint64_t evaluated = 0;
+    for (const SleepPlan &plan : space.plans) {
+        for (double f : space.frequencies) {
+            if (f < f_floor)
+                continue;
+            const Policy candidate{f, plan};
+            const PolicyEvaluation eval = evaluatePolicy(
+                xeon, ServiceScaling::cpuBound(), candidate, jobs);
+            ++evaluated;
+            const double metric = qos.measuredValue(eval.stats);
+            if (metric <= qos.budget() && eval.avgPower() < best_power) {
+                best_power = eval.avgPower();
+                best = candidate;
+                best_metric = metric;
+            }
+        }
+    }
+
+    EXPECT_EQ(decision.evaluated, evaluated);
+    EXPECT_TRUE(decision.feasible);
+    EXPECT_EQ(decision.policy.frequency, best.frequency);
+    EXPECT_EQ(decision.policy.plan.toString(), best.plan.toString());
+    EXPECT_NEAR(decision.predictedPower / best_power, 1.0, 1e-12);
+    EXPECT_NEAR(decision.predictedMetric / best_metric, 1.0, 1e-12);
+}
+
+// --------------------------------------- parallel-vs-serial bit-equality
+
+TEST_F(EvalEngineTest, ParallelSelectionBitMatchesSerial)
+{
+    const PolicySpace space = PolicySpace::standard();
+    PolicyEvalEngine serial(xeon, ServiceScaling::cpuBound(), space, qos);
+
+    for (const double rho : {0.1, 0.3, 0.6}) {
+        const auto log =
+            poissonLog(rho, 0.194, 5000,
+                       static_cast<std::uint64_t>(rho * 100));
+        const PolicyDecision reference = serial.selectFromLog(log);
+        for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                          std::size_t{8}}) {
+            EvalEngineOptions options;
+            options.threads = threads;
+            PolicyEvalEngine parallel(xeon, ServiceScaling::cpuBound(),
+                                      space, qos, options);
+            const PolicyDecision decision = parallel.selectFromLog(log);
+            expectIdenticalDecisions(reference, decision);
+            EXPECT_EQ(reference.evaluated, decision.evaluated);
+        }
+    }
+}
+
+// ------------------------------------- pruned-vs-exhaustive equivalence
+
+TEST_F(EvalEngineTest, PrunedMatchesExhaustiveAcrossTable5Workloads)
+{
+    const WorkloadSpec workloads[] = {dnsWorkload(), mailWorkload(),
+                                      googleWorkload()};
+    for (const WorkloadSpec &spec : workloads) {
+        const QosConstraint mean_qos =
+            QosConstraint::fromBaselineMean(0.8, spec.serviceMean);
+        const QosConstraint tail_qos =
+            QosConstraint::fromBaselineTail(0.8, spec.serviceMean);
+        for (const QosConstraint &constraint : {mean_qos, tail_qos}) {
+            PolicyEvalEngine exhaustive(xeon, spec.scaling,
+                                        PolicySpace::standard(),
+                                        constraint);
+            EvalEngineOptions options;
+            options.pruned = true;
+            PolicyEvalEngine pruned(xeon, spec.scaling,
+                                    PolicySpace::standard(), constraint,
+                                    options);
+            for (const double rho : {0.1, 0.3, 0.5}) {
+                const auto log = workloadLog(spec, rho, 4000, 17);
+                const PolicyDecision a = exhaustive.selectFromLog(log);
+                const PolicyDecision b = pruned.selectFromLog(log);
+                expectIdenticalDecisions(a, b);
+                // Pruning must not characterize more than exhaustive.
+                EXPECT_LE(b.evaluated, a.evaluated)
+                    << spec.name << " rho=" << rho;
+            }
+        }
+    }
+}
+
+TEST_F(EvalEngineTest, PrunedInfeasibleFallbackMatchesExhaustive)
+{
+    // An impossible budget: nothing is feasible, and the pruned search
+    // must fall back to the identical best-effort (fastest) decision.
+    const QosConstraint impossible = QosConstraint::meanBudget(1e-6);
+    const auto log = poissonLog(0.3, 0.194, 4000, 5);
+
+    PolicyEvalEngine exhaustive(xeon, ServiceScaling::cpuBound(),
+                                PolicySpace::standard(), impossible);
+    EvalEngineOptions options;
+    options.pruned = true;
+    PolicyEvalEngine pruned(xeon, ServiceScaling::cpuBound(),
+                            PolicySpace::standard(), impossible, options);
+
+    const PolicyDecision a = exhaustive.selectFromLog(log);
+    const PolicyDecision b = pruned.selectFromLog(log);
+    EXPECT_FALSE(a.feasible);
+    expectIdenticalDecisions(a, b);
+    EXPECT_EQ(a.evaluated, b.evaluated);
+}
+
+TEST_F(EvalEngineTest, PrunedParallelCombinationMatchesSerial)
+{
+    const auto log = poissonLog(0.2, 0.194, 5000, 23);
+    PolicyEvalEngine serial(xeon, ServiceScaling::cpuBound(),
+                            PolicySpace::standard(), qos);
+    EvalEngineOptions options;
+    options.pruned = true;
+    options.threads = 4;
+    PolicyEvalEngine combined(xeon, ServiceScaling::cpuBound(),
+                              PolicySpace::standard(), qos, options);
+    expectIdenticalDecisions(serial.selectFromLog(log),
+                             combined.selectFromLog(log));
+}
+
+// ---------------------------------------------------------- validation
+
+TEST_F(EvalEngineTest, ValidationMatchesPolicyManager)
+{
+    PolicySpace empty;
+    EXPECT_THROW(PolicyEvalEngine(xeon, ServiceScaling::cpuBound(), empty,
+                                  qos),
+                 ConfigError);
+
+    PolicySpace bad_freq = PolicySpace::standard();
+    bad_freq.frequencies.push_back(1.5);
+    EXPECT_THROW(PolicyEvalEngine(xeon, ServiceScaling::cpuBound(),
+                                  bad_freq, qos),
+                 ConfigError);
+
+    // Pruned mode requires an ascending grid.
+    PolicySpace shuffled = PolicySpace::standard();
+    std::swap(shuffled.frequencies.front(),
+              shuffled.frequencies.back());
+    EvalEngineOptions options;
+    options.pruned = true;
+    EXPECT_THROW(PolicyEvalEngine(xeon, ServiceScaling::cpuBound(),
+                                  shuffled, qos, options),
+                 ConfigError);
+}
+
+// ------------------------------------------------------- prepared logs
+
+TEST_F(EvalEngineTest, PreparedLogPrefixSums)
+{
+    const std::vector<Job> jobs = {{1.0, 0.2}, {2.0, 0.4}, {4.0, 0.1}};
+    const PreparedLog log = PreparedLog::fromJobs(jobs);
+    EXPECT_EQ(log.count(), 3u);
+    EXPECT_DOUBLE_EQ(log.cumSize[0], 0.2);
+    EXPECT_DOUBLE_EQ(log.cumSize[1], 0.2 + 0.4);
+    EXPECT_DOUBLE_EQ(log.totalDemand(), 0.7);
+    EXPECT_NEAR(log.meanSize(), 0.7 / 3.0, 1e-15);
+    EXPECT_NEAR(log.offeredLoad(), 0.7 / 4.0, 1e-15);
+
+    EXPECT_THROW(PreparedLog::fromJobs({}), ConfigError);
+    EXPECT_THROW(PreparedLog::fromJobs({{2.0, 0.1}, {1.0, 0.1}}),
+                 ConfigError);
+    EXPECT_THROW(PreparedLog::fromJobs({{1.0, -0.1}}), ConfigError);
+}
+
+TEST_F(EvalEngineTest, PreparedOfferedLoadMatchesPolicyManagerHelper)
+{
+    const auto jobs = poissonLog(0.4, 0.194, 1000, 9);
+    const PreparedLog log = PreparedLog::fromJobs(jobs);
+    EXPECT_EQ(log.offeredLoad(), PolicyManager::logOfferedLoad(jobs));
+    EXPECT_EQ(log.meanSize(), PolicyManager::logMeanSize(jobs));
+}
+
+// ------------------------------------------------- pending-queue ring
+
+TEST(PendingQueueTest, FifoAcrossWrapAround)
+{
+    PendingQueue queue;
+    // Push/pop more entries than the initial slab to force wrapping.
+    std::size_t pushed = 0;
+    std::size_t popped = 0;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 17; ++i) {
+            queue.push(static_cast<double>(pushed), 0.5);
+            ++pushed;
+        }
+        for (int i = 0; i < 13; ++i) {
+            ASSERT_FALSE(queue.empty());
+            EXPECT_EQ(queue.front().depart,
+                      static_cast<double>(popped));
+            queue.pop();
+            ++popped;
+        }
+    }
+    EXPECT_EQ(queue.size(), pushed - popped);
+    while (!queue.empty()) {
+        EXPECT_EQ(queue.front().depart, static_cast<double>(popped));
+        queue.pop();
+        ++popped;
+    }
+    EXPECT_EQ(popped, pushed);
+
+    queue.reset();
+    EXPECT_TRUE(queue.empty());
+    queue.push(7.0, 1.0);
+    EXPECT_EQ(queue.front().depart, 7.0);
+    EXPECT_EQ(queue.front().response, 1.0);
+}
+
+} // namespace
+} // namespace sleepscale

@@ -123,6 +123,54 @@ TEST(MaterializedPlan, StageAtRespectsThresholds)
     EXPECT_THROW(plan.stageAt(-0.1), ConfigError);
 }
 
+TEST(MaterializedPlan, StageAtBinarySearchMatchesLinearScan)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const MaterializedPlan plan(
+        SleepPlan::throttleBack({0.1, 0.2, 0.3, 0.4}), xeon, 0.8);
+
+    // Reference linear walk over the thresholds, the pre-upper_bound
+    // implementation, probed on and around every boundary.
+    auto linear = [&](double elapsed) {
+        std::size_t stage = 0;
+        while (stage + 1 < plan.size() &&
+               elapsed >= plan.enterAfter(stage + 1))
+            ++stage;
+        return stage;
+    };
+    for (double elapsed = 0.0; elapsed <= 0.6; elapsed += 0.0125)
+        EXPECT_EQ(plan.stageAt(elapsed), linear(elapsed)) << elapsed;
+    for (std::size_t s = 1; s < plan.size(); ++s) {
+        const double boundary = plan.enterAfter(s);
+        EXPECT_EQ(plan.stageAt(boundary), linear(boundary));
+        EXPECT_EQ(plan.stageAt(boundary - 1e-12),
+                  linear(boundary - 1e-12));
+    }
+}
+
+TEST(MaterializedPlan, IdleEnergyPrefixSums)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const MaterializedPlan plan(
+        SleepPlan::throttleBack({0.1, 0.2, 0.3, 0.4}), xeon, 1.0);
+
+    EXPECT_DOUBLE_EQ(plan.energyBeforeStage(0), 0.0);
+    double expected = 0.0;
+    for (std::size_t s = 1; s < plan.size(); ++s) {
+        expected += plan.power(s - 1) *
+                    (plan.enterAfter(s) - plan.enterAfter(s - 1));
+        EXPECT_DOUBLE_EQ(plan.energyBeforeStage(s), expected);
+    }
+
+    // idleEnergy integrates the piecewise-constant descent exactly.
+    EXPECT_DOUBLE_EQ(plan.idleEnergy(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(plan.idleEnergy(0.05), plan.power(0) * 0.05);
+    EXPECT_DOUBLE_EQ(plan.idleEnergy(0.15),
+                     plan.power(0) * 0.1 + plan.power(1) * 0.05);
+    EXPECT_DOUBLE_EQ(plan.idleEnergy(1.0),
+                     plan.energyBeforeStage(4) + plan.power(4) * 0.6);
+}
+
 // --------------------------------------------------------------- policy
 
 TEST(Policy, ToStringIsReadable)

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Snapshot the policy-evaluation benchmark suite into the repo so the
+# perf trajectory is tracked in version control from PR 2 onward.
+#
+#   tools/bench_snapshot.sh [build-dir]
+#
+# Runs bench_perf_policy_eval with JSON output and writes the result to
+# BENCH_policy_eval.json at the repo root. Compare snapshots across
+# commits to spot regressions in BM_SelectFromLog / BM_EvaluatePolicy10k.
+# BENCH_MIN_TIME (seconds per benchmark) tunes fidelity vs runtime.
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+bench="$build_dir/bench_perf_policy_eval"
+
+if [ ! -x "$bench" ]; then
+    echo "error: $bench not built; run tools/ci.sh (needs Google \
+Benchmark)" >&2
+    exit 1
+fi
+
+"$bench" --benchmark_min_time="${BENCH_MIN_TIME:-0.5}" \
+         --benchmark_format=json \
+         > "$repo_root/BENCH_policy_eval.json"
+echo "wrote $repo_root/BENCH_policy_eval.json"

@@ -3,14 +3,29 @@
 #
 #   tools/ci.sh [build-dir]
 #
-# Configures with warnings-as-on (-Wall -Wextra are baked into
-# CMakeLists.txt), builds everything, and runs the full ctest suite.
+# Configures a Release build with warnings-as-on (-Wall -Wextra are baked
+# into CMakeLists.txt), builds everything (library, tests, benches,
+# examples), runs the full ctest suite, and — when Google Benchmark was
+# found — smoke-runs the policy-evaluation micro-bench suite so a perf
+# regression that breaks the bench binary (or tanks it outright) fails CI
+# rather than lingering until someone profiles.
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 
-cmake -B "$build_dir" -S "$repo_root"
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
 ctest --test-dir "$build_dir" --output-on-failure -j \
       "$(nproc 2>/dev/null || echo 4)"
+
+# Bench smoke: short measurement, machine-readable output. Skipped when
+# the benchmark library is absent (the target is then not built).
+bench="$build_dir/bench_perf_policy_eval"
+if [ -x "$bench" ]; then
+    "$bench" --benchmark_min_time=0.1 --benchmark_format=json \
+             > "$build_dir/bench_policy_eval_smoke.json"
+    echo "bench smoke OK: $build_dir/bench_policy_eval_smoke.json"
+else
+    echo "bench smoke skipped: $bench not built (no Google Benchmark)"
+fi
