@@ -4,13 +4,27 @@
 #include <cmath>
 
 #include "util/error.hh"
-#include "workload/job_stream.hh"
 
 namespace sleepscale {
 
 namespace {
 
 constexpr double secondsPerMinute = 60.0;
+
+/**
+ * Streaming replacement of offeredLoad() for epoch accounting: a
+ * degenerate window reports zero load instead of dividing by zero.
+ */
+double
+windowLoad(const std::vector<Job> &jobs, double window)
+{
+    if (window <= 0.0)
+        return 0.0;
+    double demand = 0.0;
+    for (const Job &job : jobs)
+        demand += job.size;
+    return demand / window;
+}
 
 QosConstraint
 deriveQos(const RuntimeConfig &config, const WorkloadSpec &spec)
@@ -113,6 +127,14 @@ SleepScaleRuntime::run(const std::vector<Job> &jobs,
                        const UtilizationTrace &trace,
                        UtilizationPredictor &predictor) const
 {
+    VectorSource source = VectorSource::view(jobs);
+    return run(source, trace, predictor);
+}
+
+RuntimeResult
+SleepScaleRuntime::run(JobSource &source, const UtilizationTrace &trace,
+                       UtilizationPredictor &predictor) const
+{
     fatalIf(trace.empty(), "SleepScaleRuntime::run: empty trace");
 
     const std::size_t minutes = trace.size();
@@ -124,7 +146,11 @@ SleepScaleRuntime::run(const std::vector<Job> &jobs,
     result.qos = _qos;
     result.total.windowStart = 0.0;
 
-    std::size_t next_job = 0;
+    // One-job lookahead over the stream: the only jobs ever held are
+    // the pending one, the current epoch's arrivals, and the bounded
+    // history log — O(epoch + history) memory however long the run.
+    Job pending;
+    bool has_pending = source.next(pending);
     std::vector<Job> epoch_jobs;  // Arrivals inside the current epoch.
     // Rolling log of the last historyEpochs epochs' arrivals, capped at
     // evalLogCap jobs (Section 5.2.1 logs events from previous epochs).
@@ -177,9 +203,9 @@ SleepScaleRuntime::run(const std::vector<Job> &jobs,
             if (minute > 0) {
                 epoch.stats = sim.harvestWindow();
                 epoch.measuredUtilization =
-                    offeredLoad(epoch_jobs,
-                                static_cast<double>(epoch_len) *
-                                    secondsPerMinute);
+                    windowLoad(epoch_jobs,
+                               static_cast<double>(epoch_len) *
+                                   secondsPerMinute);
                 last_epoch_within_budget =
                     epoch.stats.completions > 0 &&
                     _qos.satisfiedBy(epoch.stats);
@@ -232,12 +258,11 @@ SleepScaleRuntime::run(const std::vector<Job> &jobs,
         // ---- Run the minute ----
         const double minute_end = t + secondsPerMinute;
         double minute_demand = 0.0;
-        while (next_job < jobs.size() &&
-               jobs[next_job].arrival < minute_end) {
-            sim.offerJob(jobs[next_job]);
-            epoch_jobs.push_back(jobs[next_job]);
-            minute_demand += jobs[next_job].size;
-            ++next_job;
+        while (has_pending && pending.arrival < minute_end) {
+            sim.offerJob(pending);
+            epoch_jobs.push_back(pending);
+            minute_demand += pending.size;
+            has_pending = source.next(pending);
         }
         sim.advanceTo(minute_end);
 
@@ -251,7 +276,7 @@ SleepScaleRuntime::run(const std::vector<Job> &jobs,
         std::max(trace.duration(), sim.nextFreeTime());
     sim.advanceTo(horizon);
     epoch.stats = sim.harvestWindow();
-    epoch.measuredUtilization = offeredLoad(
+    epoch.measuredUtilization = windowLoad(
         epoch_jobs, static_cast<double>(epoch_len) * secondsPerMinute);
     result.epochs.push_back(epoch);
 

@@ -35,6 +35,7 @@
 #include "sim/server_sim.hh"
 #include "util/csv.hh"
 #include "workload/job.hh"
+#include "workload/job_source.hh"
 #include "workload/utilization_trace.hh"
 #include "workload/workload_spec.hh"
 
@@ -146,12 +147,25 @@ class SleepScaleRuntime
                       const WorkloadSpec &spec, RuntimeConfig config);
 
     /**
-     * Run the full trace.
+     * Run the full trace, pulling arrivals from a streaming source.
      *
-     * @param jobs Trace-driven arrivals covering the trace duration.
+     * Jobs are consumed epoch by epoch with one-job lookahead, so the
+     * run's job-buffer memory is bounded by the epoch and history
+     * windows regardless of the trace length — a million-job day never
+     * materializes. Jobs the source produces past the trace horizon
+     * are not consumed.
+     *
+     * @param source Arrival stream (consumed; non-decreasing times).
      * @param trace The utilization trace (defines the time horizon; the
      *              offline predictor reads it directly).
      * @param predictor Utilization predictor, observed every minute.
+     */
+    RuntimeResult run(JobSource &source, const UtilizationTrace &trace,
+                      UtilizationPredictor &predictor) const;
+
+    /**
+     * Run a materialized job list — a thin adapter that streams `jobs`
+     * through the JobSource overload; results are identical.
      */
     RuntimeResult run(const std::vector<Job> &jobs,
                       const UtilizationTrace &trace,

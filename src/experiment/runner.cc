@@ -14,7 +14,7 @@
 #include "util/error.hh"
 #include "util/rng.hh"
 #include "util/thread_pool.hh"
-#include "workload/job_stream.hh"
+#include "workload/job_source.hh"
 #include "workload/workload_spec.hh"
 
 namespace sleepscale {
@@ -49,6 +49,30 @@ workloadOf(const ScenarioSpec &spec)
     return spec.idealizedWorkload ? workload.idealized() : workload;
 }
 
+/**
+ * Build the scenario's job source. Engines pull from it epoch by
+ * epoch — the stream is never materialized.
+ *
+ * @param rate_scale Engine-imposed arrival-rate multiplier (the farm
+ *        aggregates farm-size times the per-server trace load).
+ */
+std::unique_ptr<JobSource>
+sourceOf(const ScenarioSpec &spec, const WorkloadSpec &workload,
+         const UtilizationTrace &trace, double rate_scale)
+{
+    JobSourceConfig config;
+    config.workload = workload;
+    config.trace = trace;
+    config.utilization = spec.sourceUtilization;
+    config.rateScale = spec.sourceRateScale * rate_scale;
+    config.burstRateFactor = spec.burstRateFactor;
+    config.burstMeanLength = spec.burstMeanLength;
+    config.burstMeanGap = spec.burstMeanGap;
+    config.replayPath = spec.replayPath;
+    config.seed = spec.seed;
+    return makeJobSource(spec.source, config);
+}
+
 ScenarioResult
 runSingleServer(const ScenarioSpec &spec)
 {
@@ -60,12 +84,11 @@ runSingleServer(const ScenarioSpec &spec)
         strategyConfigByName(spec.strategy, knobsOf(spec));
     const SleepScaleRuntime runtime(platform, workload, config);
 
-    Rng rng(spec.seed);
-    const auto jobs = generateTraceDrivenJobs(rng, workload, trace);
+    const auto source = sourceOf(spec, workload, trace, 1.0);
     const auto predictor = makePredictor(spec.predictor,
                                          spec.predictorHistory,
                                          trace.values());
-    const RuntimeResult run = runtime.run(jobs, trace, *predictor);
+    const RuntimeResult run = runtime.run(*source, trace, *predictor);
 
     ScenarioResult result;
     result.spec = spec;
@@ -75,7 +98,7 @@ runSingleServer(const ScenarioSpec &spec)
     result.avgPower = run.avgPower();
     result.energy = run.total.energy;
     result.elapsed = run.total.elapsed();
-    result.jobs = jobs.size();
+    result.jobs = run.total.arrivals;
     result.withinBudget = run.withinBudget();
     result.extras.emplace_back("epochs",
                                static_cast<double>(run.epochs.size()));
@@ -107,13 +130,18 @@ runFarm(const ScenarioSpec &spec)
     config.perServer = strategyConfigByName(spec.strategy, knobsOf(spec));
     const FarmRuntime runtime(platform, workload, config);
 
-    Rng rng(spec.seed);
-    const auto jobs =
-        generateFarmJobs(rng, workload, trace, spec.farmSize);
+    // The farm sees farm-size times the per-server trace load; replay
+    // logs are taken literally (their recorded stream IS the aggregate).
+    const double aggregate_scale =
+        spec.source == "replay"
+            ? 1.0
+            : static_cast<double>(spec.farmSize);
+    const auto source = sourceOf(spec, workload, trace, aggregate_scale);
     const auto predictor = makePredictor(spec.predictor,
                                          spec.predictorHistory,
                                          trace.values());
-    const FarmRuntimeResult run = runtime.run(jobs, trace, *predictor);
+    const FarmRuntimeResult run =
+        runtime.run(*source, trace, *predictor);
 
     ScenarioResult result;
     result.spec = spec;
@@ -123,7 +151,7 @@ runFarm(const ScenarioSpec &spec)
     result.avgPower = run.avgPower();
     result.energy = run.total.energy;
     result.elapsed = run.total.elapsed();
-    result.jobs = jobs.size();
+    result.jobs = run.total.arrivals;
     result.withinBudget = run.withinBudget();
     result.extras.emplace_back(
         "per_server_w",
@@ -143,19 +171,18 @@ runMulticore(const ScenarioSpec &spec)
     // arrival distribution is fitted directly.
     const double total_load =
         spec.rho * static_cast<double>(spec.cores);
-    const auto gaps = fitDistribution(workload.serviceMean / total_load,
-                                      workload.interArrivalCv);
-    const auto service = workload.makeService();
-    Rng rng(spec.seed);
-    const auto jobs =
-        generateJobs(rng, *gaps, *service, spec.jobCount);
+    auto gaps = fitDistribution(workload.serviceMean / total_load,
+                                workload.interArrivalCv);
+    StationarySource source(std::move(gaps), workload.makeService(),
+                            spec.seed);
 
     MulticorePolicy policy;
     policy.frequency = spec.frequency;
     policy.corePlan = SleepPlan::immediate(spec.coreState);
     policy.packageSleepDelay = spec.packageSleepDelay;
-    const MulticoreStats stats = evaluateMulticorePolicy(
-        platform, workload.scaling, spec.cores, policy, jobs);
+    const MulticoreStats stats =
+        evaluateMulticorePolicy(platform, workload.scaling, spec.cores,
+                                policy, source, spec.jobCount);
 
     ScenarioResult result;
     result.spec = spec;
@@ -166,7 +193,7 @@ runMulticore(const ScenarioSpec &spec)
     result.avgPower = stats.avgPower();
     result.energy = stats.energy;
     result.elapsed = stats.elapsed;
-    result.jobs = jobs.size();
+    result.jobs = stats.completions;
 
     const QosConstraint qos =
         spec.qosMetric == QosMetric::MeanResponse

@@ -7,6 +7,7 @@
 #include "farm/dispatcher.hh"
 #include "power/platform_model.hh"
 #include "util/error.hh"
+#include "workload/job_source.hh"
 #include "workload/workload_spec.hh"
 
 namespace sleepscale {
@@ -72,6 +73,13 @@ ScenarioSpec::validate() const
       case EngineKind::Farm:
         strategyRegistry().get(strategy);
         predictorRegistry().get(predictor);
+        jobSourceRegistry().get(source);
+        fatalIf(source == "replay" && replayPath.empty(),
+                "ScenarioSpec '" + label +
+                    "': the replay source needs replayPath()");
+        fatalIf(sourceRateScale <= 0.0,
+                "ScenarioSpec '" + label +
+                    "': sourceRateScale must be positive");
         fatalIf(epochMinutes == 0,
                 "ScenarioSpec '" + label + "': epochMinutes must be >= 1");
         fatalIf(rhoB <= 0.0 || rhoB >= 1.0,
@@ -174,6 +182,45 @@ ScenarioBuilder::flatTrace(double level, std::size_t minutes)
     _spec.trace.flatMinutes = minutes;
     _spec.trace.windowStartHour = 0;
     _spec.trace.windowEndHour = 24;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::source(const std::string &name)
+{
+    _spec.source = name;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::sourceUtilization(double level)
+{
+    _spec.sourceUtilization = level;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::sourceRateScale(double factor)
+{
+    _spec.sourceRateScale = factor;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::burstiness(double rate_factor, double mean_length,
+                            double mean_gap)
+{
+    _spec.burstRateFactor = rate_factor;
+    _spec.burstMeanLength = mean_length;
+    _spec.burstMeanGap = mean_gap;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::replayPath(const std::string &path)
+{
+    _spec.source = "replay";
+    _spec.replayPath = path;
     return *this;
 }
 

@@ -85,6 +85,16 @@ struct ScenarioSpec
     std::string platform = "xeon";      ///< Platform registry name.
     TraceSpec trace;
 
+    // Job source (single-server and farm engines). Sources stream jobs
+    // into the engines epoch by epoch — nothing is materialized.
+    std::string source = "trace";       ///< Job-source registry name.
+    double sourceUtilization = 0.3;     ///< "stationary"/"bursty" level.
+    double sourceRateScale = 1.0;       ///< Extra arrival-rate factor.
+    double burstRateFactor = 4.0;       ///< "bursty": in-burst factor.
+    double burstMeanLength = 120.0;     ///< "bursty": episode mean, s.
+    double burstMeanGap = 1800.0;       ///< "bursty": inter-episode, s.
+    std::string replayPath;             ///< "replay": CSV job log.
+
     // Policy management (single-server and farm engines).
     std::string strategy = "SS";        ///< Strategy registry name.
     unsigned epochMinutes = 5;          ///< Update interval T.
@@ -145,6 +155,19 @@ class ScenarioBuilder
     ScenarioBuilder &window(unsigned start_hour, unsigned end_hour);
     /** Shortcut: a flat trace at `level` for `minutes` minutes. */
     ScenarioBuilder &flatTrace(double level, std::size_t minutes);
+
+    /** Job source: "trace", "stationary", "bursty", "replay", or any
+     * name registered in jobSourceRegistry(). */
+    ScenarioBuilder &source(const std::string &name);
+    /** Offered load of the stationary/bursty sources. */
+    ScenarioBuilder &sourceUtilization(double level);
+    /** Extra arrival-rate multiplier on top of the source. */
+    ScenarioBuilder &sourceRateScale(double factor);
+    /** Bursty-source episode shape (factor >= 1; seconds). */
+    ScenarioBuilder &burstiness(double rate_factor, double mean_length,
+                                double mean_gap);
+    /** CSV job log for the replay source (implies source("replay")). */
+    ScenarioBuilder &replayPath(const std::string &path);
 
     ScenarioBuilder &strategy(const std::string &name);
     ScenarioBuilder &epochMinutes(unsigned minutes);

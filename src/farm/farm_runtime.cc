@@ -5,7 +5,6 @@
 
 #include "core/policy_manager.hh"
 #include "util/error.hh"
-#include "workload/job_stream.hh"
 
 namespace sleepscale {
 
@@ -15,22 +14,28 @@ constexpr double secondsPerMinute = 60.0;
 
 } // namespace
 
+std::unique_ptr<JobSource>
+makeFarmSource(const WorkloadSpec &spec, const UtilizationTrace &trace,
+               std::size_t farm_size, std::uint64_t seed)
+{
+    fatalIf(farm_size == 0, "makeFarmSource: farm size must be >= 1");
+    // A farm at per-server load rho sees rho * size aggregate demand:
+    // the rate multiplier shrinks the mean inter-arrival by the farm
+    // size while keeping the gap distribution's shape and the true
+    // service demands.
+    return std::make_unique<TraceDrivenSource>(
+        spec, trace, seed, static_cast<double>(farm_size));
+}
+
 std::vector<Job>
 generateFarmJobs(Rng &rng, const WorkloadSpec &spec,
                  const UtilizationTrace &trace, std::size_t farm_size)
 {
     fatalIf(farm_size == 0, "generateFarmJobs: farm size must be >= 1");
-    // A farm at per-server load rho sees rho * size aggregate demand:
-    // shrink the mean inter-arrival by the farm size while keeping the
-    // gap distribution's shape.
-    WorkloadSpec aggregate = spec;
-    aggregate.serviceMean =
-        spec.serviceMean / static_cast<double>(farm_size);
-    auto jobs = generateTraceDrivenJobs(rng, aggregate, trace);
-    // Restore true service demands (only the arrival rate scales).
-    const auto service = spec.makeService();
-    for (Job &job : jobs)
-        job.size = service->sample(rng);
+    TraceDrivenSource source(spec, trace, rng,
+                             static_cast<double>(farm_size));
+    std::vector<Job> jobs = materialize(source);
+    rng = source.rng();
     return jobs;
 }
 
@@ -65,6 +70,14 @@ FarmRuntime::run(const std::vector<Job> &jobs,
                  const UtilizationTrace &trace,
                  UtilizationPredictor &predictor) const
 {
+    VectorSource source = VectorSource::view(jobs);
+    return run(source, trace, predictor);
+}
+
+FarmRuntimeResult
+FarmRuntime::run(JobSource &source, const UtilizationTrace &trace,
+                 UtilizationPredictor &predictor) const
+{
     fatalIf(trace.empty(), "FarmRuntime::run: empty trace");
 
     const std::size_t minutes = trace.size();
@@ -80,7 +93,10 @@ FarmRuntime::run(const std::vector<Job> &jobs,
     FarmRuntimeResult result;
     result.qos = _qos;
 
-    std::size_t next_job = 0;
+    // One-job lookahead; the only job buffer kept across the run is
+    // the thinned decision log below, capped at evalLogCap.
+    Job pending;
+    bool has_pending = source.next(pending);
     std::vector<Job> history;     // Thinned to one server's view.
     std::size_t thin_counter = 0;
     bool last_epoch_within_budget = false;
@@ -175,15 +191,17 @@ FarmRuntime::run(const std::vector<Job> &jobs,
 
         const double minute_end = t + secondsPerMinute;
         double minute_demand = 0.0;
-        while (next_job < jobs.size() &&
-               jobs[next_job].arrival < minute_end) {
-            farm.offerJob(jobs[next_job]);
-            minute_demand += jobs[next_job].size;
+        while (has_pending && pending.arrival < minute_end) {
+            farm.offerJob(pending);
+            minute_demand += pending.size;
             // Thin the aggregate stream down to one server's share so
             // the policy manager characterizes a single back-end.
-            if (thin_counter++ % _config.farmSize == 0)
-                history.push_back(jobs[next_job]);
-            ++next_job;
+            // Fixed-policy runs never decide, so they keep no log at
+            // all — the stream passes through in O(1) job memory.
+            if (!_config.perServer.fixedPolicy &&
+                thin_counter++ % _config.farmSize == 0)
+                history.push_back(pending);
+            has_pending = source.next(pending);
         }
         farm.advanceTo(minute_end);
 

@@ -21,6 +21,7 @@
 
 #include "core/runtime.hh"
 #include "farm/server_farm.hh"
+#include "workload/job_source.hh"
 #include "workload/utilization_trace.hh"
 
 namespace sleepscale {
@@ -82,13 +83,27 @@ class FarmRuntime
                 FarmRuntimeConfig config);
 
     /**
-     * Run a trace-driven job stream through the farm.
+     * Run a streaming aggregate job source through the farm.
      *
-     * @param jobs Aggregate arrivals; the trace's utilization is the
-     *             *per-server* offered load (total demand divided by
-     *             the farm size).
+     * Jobs are pulled epoch by epoch with one-job lookahead; the only
+     * job buffers are the thinned decision log (capped at evalLogCap)
+     * and the lookahead itself, so a million-job day streams in
+     * O(history) memory with no full-trace materialization.
+     *
+     * @param source Aggregate arrivals (consumed); the trace's
+     *             utilization is the *per-server* offered load (total
+     *             demand divided by the farm size).
      * @param trace Per-minute per-server utilization targets.
      * @param predictor Observes per-server offered load each minute.
+     */
+    FarmRuntimeResult run(JobSource &source,
+                          const UtilizationTrace &trace,
+                          UtilizationPredictor &predictor) const;
+
+    /**
+     * Run a materialized aggregate job list — a thin adapter that
+     * streams `jobs` through the JobSource overload; results are
+     * identical.
      */
     FarmRuntimeResult run(const std::vector<Job> &jobs,
                           const UtilizationTrace &trace,
@@ -115,9 +130,19 @@ class FarmRuntime
 };
 
 /**
- * Generate an aggregate trace-driven job stream for a farm: the trace
- * is the per-server load, so the farm sees farm-size times the arrival
- * rate with the same service distribution.
+ * Streaming aggregate trace-driven source for a farm: the trace is the
+ * per-server load, so the farm sees farm-size times the arrival rate
+ * with the same service distribution. Equivalent to
+ * TraceDrivenSource(spec, trace, seed, farm_size).
+ */
+std::unique_ptr<JobSource> makeFarmSource(const WorkloadSpec &spec,
+                                          const UtilizationTrace &trace,
+                                          std::size_t farm_size,
+                                          std::uint64_t seed);
+
+/**
+ * Materialized adapter over makeFarmSource() — drains the aggregate
+ * stream into a vector for callers that need the whole list.
  */
 std::vector<Job> generateFarmJobs(Rng &rng, const WorkloadSpec &spec,
                                   const UtilizationTrace &trace,

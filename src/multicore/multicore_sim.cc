@@ -209,4 +209,23 @@ evaluateMulticorePolicy(const PlatformModel &platform,
     return sim.stats();
 }
 
+MulticoreStats
+evaluateMulticorePolicy(const PlatformModel &platform,
+                        ServiceScaling scaling, std::size_t cores,
+                        const MulticorePolicy &policy, JobSource &source,
+                        std::size_t max_jobs)
+{
+    fatalIf(max_jobs == 0, "evaluateMulticorePolicy: need jobs");
+    MulticoreSim sim(platform, scaling, cores, policy);
+    Job job;
+    std::size_t offered = 0;
+    while (offered < max_jobs && source.next(job)) {
+        sim.offerJob(job);
+        ++offered;
+    }
+    fatalIf(offered == 0, "evaluateMulticorePolicy: need jobs");
+    sim.advanceTo(sim.allFreeTime());
+    return sim.stats();
+}
+
 } // namespace sleepscale

@@ -44,6 +44,7 @@
 #include "sim/sim_stats.hh"
 #include "sim/sleep_plan.hh"
 #include "workload/job.hh"
+#include "workload/job_source.hh"
 #include "workload/workload_spec.hh"
 
 namespace sleepscale {
@@ -148,6 +149,17 @@ MulticoreStats evaluateMulticorePolicy(const PlatformModel &platform,
                                        std::size_t cores,
                                        const MulticorePolicy &policy,
                                        const std::vector<Job> &jobs);
+
+/**
+ * Streaming overload: pulls up to max_jobs arrivals from a source —
+ * the package never holds the job list.
+ */
+MulticoreStats evaluateMulticorePolicy(const PlatformModel &platform,
+                                       ServiceScaling scaling,
+                                       std::size_t cores,
+                                       const MulticorePolicy &policy,
+                                       JobSource &source,
+                                       std::size_t max_jobs);
 
 } // namespace sleepscale
 

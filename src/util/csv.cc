@@ -92,6 +92,18 @@ fromCsv(const std::string &text)
     return table;
 }
 
+bool
+tryParseCsvDouble(const std::string &cell, double &out)
+{
+    try {
+        std::size_t used = 0;
+        out = std::stod(cell, &used);
+        return used == cell.size();
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
 void
 writeCsvFile(const std::string &path, const CsvTable &table)
 {

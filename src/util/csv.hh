@@ -39,6 +39,16 @@ std::string toCsv(const CsvTable &table);
  */
 CsvTable fromCsv(const std::string &text);
 
+/**
+ * Strictly parse one CSV cell as a double: the whole cell must be
+ * consumed (no trailing junk).
+ *
+ * @param cell The cell text.
+ * @param out Receives the value on success.
+ * @return True when the cell parsed cleanly.
+ */
+bool tryParseCsvDouble(const std::string &cell, double &out);
+
 /** Write a table to a file, fatal() on I/O failure. */
 void writeCsvFile(const std::string &path, const CsvTable &table);
 

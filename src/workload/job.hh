@@ -19,6 +19,10 @@ struct Job
 {
     double arrival = 0.0; ///< Absolute arrival time, seconds.
     double size = 0.0;    ///< Service demand at f = 1, seconds.
+
+    /** Request class (0 = default). Carried by replayed job logs with a
+     * class column; the queueing core treats all classes alike today. */
+    int classId = 0;
 };
 
 } // namespace sleepscale

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hh"
+#include "workload/job_source.hh"
 
 namespace sleepscale {
 
@@ -10,13 +11,9 @@ std::vector<Job>
 generateJobs(Rng &rng, const Distribution &inter_arrival,
              const Distribution &service, std::size_t count)
 {
-    std::vector<Job> jobs;
-    jobs.reserve(count);
-    double clock = 0.0;
-    for (std::size_t i = 0; i < count; ++i) {
-        clock += inter_arrival.sample(rng);
-        jobs.push_back({clock, service.sample(rng)});
-    }
+    StationarySource source(inter_arrival.clone(), service.clone(), rng);
+    std::vector<Job> jobs = materialize(source, count);
+    rng = source.rng();
     return jobs;
 }
 
@@ -26,6 +23,10 @@ generateJobsForDuration(Rng &rng, const Distribution &inter_arrival,
 {
     fatalIf(duration <= 0.0,
             "generateJobsForDuration: duration must be positive");
+    // Kept as a direct loop rather than a StationarySource drain: the
+    // source pairs every gap with a service draw, but this function
+    // has always left the overshooting final gap unpaired, and callers
+    // reusing the Rng afterwards depend on that exact draw count.
     std::vector<Job> jobs;
     double clock = inter_arrival.sample(rng);
     while (clock < duration) {
@@ -49,33 +50,9 @@ generateTraceDrivenJobs(Rng &rng, const WorkloadSpec &spec,
                         const UtilizationTrace &trace)
 {
     fatalIf(trace.empty(), "generateTraceDrivenJobs: empty trace");
-
-    // Draw gaps from a unit-mean distribution with the workload's
-    // inter-arrival Cv and rescale the mean minute by minute; this keeps
-    // the distribution *shape* fixed while the offered load follows the
-    // trace, exactly the paper's Section 6 construction.
-    const auto unit_gap = fitDistribution(1.0, spec.interArrivalCv);
-    const auto service = spec.makeService();
-    constexpr double minute = 60.0;
-    // Floor keeps the mean gap finite through zero-load minutes.
-    constexpr double min_load = 1e-4;
-
-    std::vector<Job> jobs;
-    const double total = trace.duration();
-    // Rough expected job count to avoid repeated reallocation.
-    jobs.reserve(static_cast<std::size_t>(
-        std::min(5e7, total * trace.meanUtilization() /
-                          std::max(spec.serviceMean, 1e-9) * 1.2)));
-
-    double clock = 0.0;
-    while (clock < total) {
-        const auto idx = static_cast<std::size_t>(clock / minute);
-        const double load = std::max(trace.at(idx), min_load);
-        const double mean_gap = spec.serviceMean / load;
-        clock += mean_gap * unit_gap->sample(rng);
-        if (clock < total)
-            jobs.push_back({clock, service->sample(rng)});
-    }
+    TraceDrivenSource source(spec, trace, rng);
+    std::vector<Job> jobs = materialize(source);
+    rng = source.rng();
     return jobs;
 }
 

@@ -1,6 +1,14 @@
 /**
  * @file
- * Job-stream generation: fixed-count, fixed-duration, and trace-driven.
+ * Materialized job-stream generation: fixed-count, fixed-duration, and
+ * trace-driven.
+ *
+ * These free functions predate the streaming JobSource API
+ * (workload/job_source.hh) and are now thin adapters over it — each one
+ * drains the corresponding source into a vector. New code that feeds an
+ * engine should pass the source itself to the streaming run()
+ * overloads instead of materializing; these stay for tests, offline
+ * tools, and anything that genuinely needs the whole list at once.
  */
 
 #ifndef SLEEPSCALE_WORKLOAD_JOB_STREAM_HH
@@ -62,7 +70,11 @@ std::vector<Job> generateWorkloadJobs(Rng &rng, const WorkloadSpec &spec,
 std::vector<Job> generateTraceDrivenJobs(Rng &rng, const WorkloadSpec &spec,
                                          const UtilizationTrace &trace);
 
-/** Measured offered load of a job list over a window: Σ size / window. */
+/**
+ * Measured offered load of a job list over a window: Σ size / window.
+ * The window must be positive — a zero or negative window fatal()s
+ * instead of dividing by zero.
+ */
 double offeredLoad(const std::vector<Job> &jobs, double window);
 
 } // namespace sleepscale

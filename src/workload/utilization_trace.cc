@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <fstream>
 #include <numbers>
+#include <sstream>
 
 #include "util/csv.hh"
 #include "util/error.hh"
@@ -104,8 +107,86 @@ UtilizationTrace::save(const std::string &path) const
 UtilizationTrace
 UtilizationTrace::load(const std::string &path)
 {
-    const CsvTable table = readCsvFile(path);
-    return UtilizationTrace(path, table.column("utilization"));
+    std::ifstream in(path);
+    fatalIf(!in, "UtilizationTrace::load: cannot open '" + path + "'");
+
+    auto lineError = [&path](std::size_t line, const std::string &what)
+        -> std::string {
+        return "UtilizationTrace::load '" + path + "' line " +
+               std::to_string(line) + ": " + what;
+    };
+
+    std::string line;
+    std::size_t line_no = 0;
+    const auto chopCr = [](std::string &text) {
+        if (!text.empty() && text.back() == '\r')
+            text.pop_back();
+    };
+
+    fatalIf(!std::getline(in, line),
+            "UtilizationTrace::load: '" + path + "' is empty");
+    chopCr(line);
+    ++line_no;
+    std::size_t util_col = SIZE_MAX;
+    std::size_t columns = 0;
+    {
+        std::istringstream header(line);
+        std::string cell;
+        while (std::getline(header, cell, ',')) {
+            if (cell == "utilization")
+                util_col = columns;
+            ++columns;
+        }
+    }
+    fatalIf(util_col == SIZE_MAX,
+            lineError(1, "no 'utilization' column in header '" + line +
+                             "'"));
+
+    std::vector<double> values;
+    double last_minute = -1.0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        chopCr(line);
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        std::string cell;
+        std::vector<double> row;
+        while (std::getline(fields, cell, ',')) {
+            double value = 0.0;
+            fatalIf(!tryParseCsvDouble(cell, value),
+                    lineError(line_no,
+                              "non-numeric cell '" + cell + "'"));
+            row.push_back(value);
+        }
+        fatalIf(row.size() != columns,
+                lineError(line_no, "expected " +
+                                       std::to_string(columns) +
+                                       " cells, got " +
+                                       std::to_string(row.size())));
+        const double u = row[util_col];
+        fatalIf(std::isnan(u), lineError(line_no, "NaN utilization"));
+        fatalIf(u < 0.0 || u >= 1.0,
+                lineError(line_no, "utilization " + std::to_string(u) +
+                                       " outside [0, 1)"));
+        // Traces saved by save() carry a minute column; when present it
+        // must be strictly increasing (an out-of-order or duplicated
+        // row is a corrupt trace, not data).
+        if (util_col != 0 && columns >= 2) {
+            const double minute = row[0];
+            fatalIf(std::isnan(minute) || minute < 0.0,
+                    lineError(line_no, "bad minute index"));
+            fatalIf(minute <= last_minute,
+                    lineError(line_no,
+                              "out-of-order minute " +
+                                  std::to_string(minute) +
+                                  " (previous " +
+                                  std::to_string(last_minute) + ")"));
+            last_minute = minute;
+        }
+        values.push_back(u);
+    }
+    return UtilizationTrace(path, std::move(values));
 }
 
 namespace {

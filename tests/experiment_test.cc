@@ -127,6 +127,43 @@ TEST(ScenarioBuilder, RejectsUnknownComponentNames)
                  ConfigError);
     EXPECT_THROW(ScenarioBuilder("s").platform("epyc").build(),
                  ConfigError);
+    EXPECT_THROW(ScenarioBuilder("s").source("psychic").build(),
+                 ConfigError);
+    // Replay needs a path; the builder shortcut sets both fields.
+    EXPECT_THROW(ScenarioBuilder("s").source("replay").build(),
+                 ConfigError);
+}
+
+TEST(ScenarioBuilder, JobSourceKnobsRoundTrip)
+{
+    const ScenarioSpec spec = ScenarioBuilder("s")
+                                  .flatTrace(0.2, 30)
+                                  .source("bursty")
+                                  .sourceUtilization(0.15)
+                                  .burstiness(6.0, 90.0, 900.0)
+                                  .build();
+    EXPECT_EQ(spec.source, "bursty");
+    EXPECT_DOUBLE_EQ(spec.sourceUtilization, 0.15);
+    EXPECT_DOUBLE_EQ(spec.burstRateFactor, 6.0);
+    EXPECT_DOUBLE_EQ(spec.burstMeanLength, 90.0);
+    EXPECT_DOUBLE_EQ(spec.burstMeanGap, 900.0);
+}
+
+TEST(ExperimentRunner, BurstySourceScenarioSmoke)
+{
+    const ScenarioSpec spec = ScenarioBuilder("bursty smoke")
+                                  .workload("dns")
+                                  .flatTrace(0.2, 20)
+                                  .source("bursty")
+                                  .sourceUtilization(0.1)
+                                  .burstiness(5.0, 60.0, 300.0)
+                                  .epochMinutes(5)
+                                  .predictor("NP")
+                                  .seed(19)
+                                  .build();
+    const ScenarioResult result = ExperimentRunner::runScenario(spec);
+    EXPECT_GT(result.jobs, 100u);
+    EXPECT_GT(result.avgPower, 0.0);
 }
 
 TEST(ScenarioBuilder, RejectsOutOfRangeKnobs)

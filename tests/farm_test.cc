@@ -316,6 +316,41 @@ TEST(FarmRuntime, ValidationGuards)
     EXPECT_THROW(generateFarmJobs(rng, dnsWorkload(),
                                   UtilizationTrace("t", {0.1}), 0),
                  ConfigError);
+    EXPECT_THROW(makeFarmSource(dnsWorkload(),
+                                UtilizationTrace("t", {0.1}), 0, 1),
+                 ConfigError);
+}
+
+TEST(FarmRuntime, MillionJobDayStreamsInBoundedMemory)
+{
+    // The acceptance bar for the streaming API: a seven-figure job
+    // count flows through the farm without a full-trace
+    // std::vector<Job> ever existing. The runtime holds one lookahead
+    // job plus the (capped) decision log — with a fixed policy, not
+    // even that — so peak job-buffer memory is bounded by the
+    // epoch/history window regardless of run length.
+    const PlatformModel xeon = PlatformModel::xeon();
+    const WorkloadSpec google = googleWorkload();
+    // 60 minutes at per-server load 0.35 across 4 servers with a
+    // 4.2 ms mean service: ~1.2 million aggregate arrivals.
+    const UtilizationTrace trace("flat",
+                                 std::vector<double>(60, 0.35));
+    const auto source = makeFarmSource(google, trace, 4, 47);
+
+    FarmRuntimeConfig config;
+    config.farmSize = 4;
+    config.dispatcher = "JSQ";
+    config.perServer.epochMinutes = 5;
+    config.perServer.fixedPolicy =
+        raceToHalt(LowPowerState::C6S0Idle);
+    const FarmRuntime runtime(xeon, google, config);
+    NaivePreviousPredictor predictor(0.35);
+    const FarmRuntimeResult result =
+        runtime.run(*source, trace, predictor);
+
+    EXPECT_GE(result.total.arrivals, 1000000u);
+    EXPECT_EQ(result.total.completions, result.total.arrivals);
+    EXPECT_EQ(result.jobsPerServer.size(), 4u);
 }
 
 } // namespace

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "util/error.hh"
 #include "util/online_stats.hh"
@@ -73,6 +75,53 @@ TEST(UtilizationTrace, SaveLoadRoundTrip)
     EXPECT_DOUBLE_EQ(loaded.at(0), 0.25);
     EXPECT_DOUBLE_EQ(loaded.at(1), 0.5);
     std::remove(path.c_str());
+}
+
+TEST(UtilizationTrace, LoadAcceptsCrlfLineEndings)
+{
+    const std::string path = "/tmp/sleepscale_trace_crlf.csv";
+    {
+        std::ofstream out(path);
+        out << "minute,utilization\r\n0,0.25\r\n1,0.5\r\n";
+    }
+    const UtilizationTrace loaded = UtilizationTrace::load(path);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_DOUBLE_EQ(loaded.at(1), 0.5);
+    std::remove(path.c_str());
+}
+
+TEST(UtilizationTrace, LoadRejectsMalformedCsvWithLineNumbers)
+{
+    const auto expectLoadError = [](const std::string &content,
+                                    const std::string &needle) {
+        const std::string path = "/tmp/sleepscale_trace_bad.csv";
+        {
+            std::ofstream out(path);
+            out << content;
+        }
+        std::string message;
+        try {
+            UtilizationTrace::load(path);
+            ADD_FAILURE() << "expected a ConfigError for: " << content;
+        } catch (const ConfigError &error) {
+            message = error.what();
+        }
+        EXPECT_NE(message.find(needle), std::string::npos)
+            << "message was: " << message;
+        std::remove(path.c_str());
+    };
+
+    expectLoadError("minute,utilization\n0,0.2\n1,nan\n",
+                    "line 3");
+    expectLoadError("minute,utilization\n0,-0.1\n", "outside [0, 1)");
+    expectLoadError("minute,utilization\n0,1.5\n", "outside [0, 1)");
+    expectLoadError("minute,utilization\n0,0.2\n0,0.3\n",
+                    "out-of-order");
+    expectLoadError("minute,utilization\n5,0.2\n3,0.3\n",
+                    "out-of-order");
+    expectLoadError("minute,utilization\n0,oops\n", "non-numeric");
+    expectLoadError("minute,load\n0,0.2\n", "no 'utilization' column");
+    expectLoadError("minute,utilization\n0\n", "expected 2 cells");
 }
 
 // ----------------------------------------------------- synthetic traces

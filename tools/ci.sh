@@ -29,3 +29,18 @@ if [ -x "$bench" ]; then
 else
     echo "bench smoke skipped: $bench not built (no Google Benchmark)"
 fi
+
+# Sanitizer pass: Debug + ASan/UBSan over the suites that exercise the
+# streaming job-source paths and the engines that consume them. Benches
+# and examples are skipped (Release covers their build) and the heavy
+# statistical suites are filtered out to keep the pass fast enough to
+# run on every push.
+san_dir="$build_dir-asan"
+cmake -B "$san_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Debug \
+      -DSLEEPSCALE_BUILD_BENCHES=OFF -DSLEEPSCALE_BUILD_EXAMPLES=OFF \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+cmake --build "$san_dir" -j "$(nproc 2>/dev/null || echo 4)"
+ctest --test-dir "$san_dir" --output-on-failure -j \
+      "$(nproc 2>/dev/null || echo 4)" \
+      -R "job_source|workload|trace|runtime|farm|experiment|multicore|cli"
+echo "sanitizer pass OK: $san_dir"

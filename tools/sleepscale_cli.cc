@@ -11,6 +11,9 @@
  *                     [--T 5] [--alpha 0.35] [--predictor LC]
  *                     [--rho-b 0.8] [--days 1] [--seed 1]
  *                     [--strategy SS] [--epochs-csv out.csv]
+ *                     [--source trace|stationary|bursty] [--util 0.3]
+ *                     [--burst-factor 4] [--burst-len 120]
+ *                     [--burst-gap 1800] [--replay jobs.csv]
  *   sleepscale trace  [--kind es|fs] [--days 3] [--seed 42]
  *                     [--out trace.csv]
  *   sleepscale farm   [--servers 4] [--dispatcher packing]
@@ -26,7 +29,9 @@
  * they describe a ScenarioSpec (or a sweep grid of them) and hand it to
  * ExperimentRunner, which executes grids concurrently. Every component
  * is resolved by registry name, so `--dispatcher pakcing` fails fast
- * listing the registered spellings.
+ * listing the registered spellings. Arrivals stream from a named job
+ * source (--source / --replay); nothing is materialized, so day-scale
+ * runs with millions of jobs use bounded memory.
  *
  * Every command prints aligned tables to stdout; numbers are watts and
  * seconds unless stated otherwise.
@@ -44,6 +49,7 @@
 #include "util/cli_args.hh"
 #include "util/error.hh"
 #include "util/table_printer.hh"
+#include "workload/job_source.hh"
 #include "workload/job_stream.hh"
 
 using namespace sleepscale;
@@ -59,6 +65,8 @@ const std::set<std::string> knownOptions = {
     "engine",     "threads",    "csv",        "sweep-T",
     "sweep-predictor", "sweep-strategy", "sweep-dispatcher",
     "sweep-servers", "sweep-alpha", "help",
+    "source",     "replay",     "util",       "burst-factor",
+    "burst-len",  "burst-gap",
 };
 
 QosMetric
@@ -136,6 +144,16 @@ scenarioFromArgs(const CliArgs &args, EngineKind engine)
         .traceSeed(20140614);
     if (trace == "es" || trace == "fs")
         builder.window(2, 20); // The paper's evaluation window.
+
+    // Job source: which stream feeds the engine. --replay implies the
+    // replay source; otherwise --source names a registered shape.
+    builder.source(args.get("source", "trace"))
+        .sourceUtilization(args.getDouble("util", 0.3))
+        .burstiness(args.getDouble("burst-factor", 4.0),
+                    args.getDouble("burst-len", 120.0),
+                    args.getDouble("burst-gap", 1800.0));
+    if (args.has("replay"))
+        builder.replayPath(args.get("replay", ""));
     return builder;
 }
 
@@ -371,6 +389,7 @@ printUsage()
         "  predictors:  " + predictorRegistry().namesCsv() + "\n"
         "  strategies:  " + strategyRegistry().namesCsv() + "\n"
         "  dispatchers: " + dispatcherRegistry().namesCsv() + "\n"
+        "  job sources: " + jobSourceRegistry().namesCsv() + "\n"
         "\n"
         "run `sleepscale <command> --help` semantics are documented at\n"
         "the top of tools/sleepscale_cli.cc and in the README.\n";
