@@ -124,6 +124,9 @@ runFarm(const ScenarioSpec &spec)
     config.farmSize = spec.farmSize;
     config.dispatcher = spec.dispatcher;
     config.packingSpillBacklog = spec.packingSpillBacklog;
+    config.control = spec.farmControl;
+    config.platforms = spec.farmPlatforms;
+    config.decisionThreads = spec.decisionThreads;
     // Decorrelated from the job-generation stream, which uses the raw
     // seed: identical seeds would put both generators in lock-step.
     config.dispatchSeed = mixSeed(spec.seed);
@@ -157,6 +160,17 @@ runFarm(const ScenarioSpec &spec)
         "per_server_w",
         run.avgPower() / static_cast<double>(spec.farmSize));
     result.jobsPerServer = run.jobsPerServer;
+    result.servers.reserve(run.servers.size());
+    for (const FarmServerReport &server : run.servers) {
+        ServerResultSummary summary;
+        summary.platform = server.platform;
+        summary.meanResponse = server.meanResponse();
+        summary.avgPower = server.avgPower();
+        summary.energy = server.total.energy;
+        summary.jobs = server.jobsRouted;
+        summary.withinBudget = server.withinBudget;
+        result.servers.push_back(std::move(summary));
+    }
     return result;
 }
 
@@ -280,6 +294,17 @@ sweepFarmSizes(const std::vector<std::size_t> &sizes)
         axis.points.emplace_back(
             std::to_string(size),
             [size](ScenarioSpec &spec) { spec.farmSize = size; });
+    }
+    return axis;
+}
+
+SweepAxis
+sweepFarmControls(const std::vector<std::string> &modes)
+{
+    SweepAxis axis{"control", {}};
+    for (const std::string &mode : modes) {
+        axis.points.emplace_back(
+            mode, [mode](ScenarioSpec &spec) { spec.farmControl = mode; });
     }
     return axis;
 }
@@ -447,6 +472,29 @@ resultsTable(const std::vector<ScenarioResult> &results)
                       std::to_string(result.p95Response / service_mean),
                       std::to_string(result.avgPower),
                       result.withinBudget ? "yes" : "no"});
+    }
+    return table;
+}
+
+TablePrinter
+serversTable(const ScenarioResult &result)
+{
+    fatalIf(result.servers.empty(),
+            "serversTable: scenario '" + result.spec.label +
+                "' has no per-server results (farm engine only)");
+    TablePrinter table({"server", "platform", "jobs", "E[R] [s]",
+                        "E[P] [W]", "within budget?"});
+    for (std::size_t i = 0; i < result.servers.size(); ++i) {
+        const ServerResultSummary &server = result.servers[i];
+        std::ostringstream response, power;
+        response.precision(6);
+        response << server.meanResponse;
+        power.precision(6);
+        power << server.avgPower;
+        table.addRow({std::to_string(i), server.platform,
+                      std::to_string(server.jobs), response.str(),
+                      power.str(),
+                      server.withinBudget ? "yes" : "no"});
     }
     return table;
 }

@@ -33,6 +33,17 @@
 
 namespace sleepscale {
 
+/** Per-back-end summary of a farm scenario (index order). */
+struct ServerResultSummary
+{
+    std::string platform;          ///< Platform model the server ran.
+    double meanResponse = 0.0;     ///< Server-local E[R], seconds.
+    double avgPower = 0.0;         ///< Server-local E[P], watts.
+    double energy = 0.0;           ///< Server-local energy, joules.
+    std::uint64_t jobs = 0;        ///< Jobs dispatched to the server.
+    bool withinBudget = false;     ///< Server met the QoS budget.
+};
+
 /** Uniform outcome of one scenario, whatever the engine. */
 struct ScenarioResult
 {
@@ -55,6 +66,10 @@ struct ScenarioResult
     /** Jobs routed to each back-end (farm engine only). */
     std::vector<std::uint64_t> jobsPerServer;
 
+    /** Per-server breakdown (farm engine only; one row per back-end,
+     * see serversTable()). */
+    std::vector<ServerResultSummary> servers;
+
     /** Per-epoch detail when the spec asked for captureEpochs. */
     CsvTable epochs;
 
@@ -69,7 +84,10 @@ struct ScenarioResult
  */
 struct SweepAxis
 {
+    /** Axis name used in labels and CSV ("T", "predictor", ...). */
     std::string name;
+
+    /** The points swept: printable value plus the spec mutator. */
     std::vector<std::pair<std::string, std::function<void(ScenarioSpec &)>>>
         points;
 };
@@ -88,6 +106,9 @@ SweepAxis sweepDispatchers(const std::vector<std::string> &names);
 
 /** Sweep the farm size. */
 SweepAxis sweepFarmSizes(const std::vector<std::size_t> &sizes);
+
+/** Sweep the farm control mode ("farm-wide" / "per-server"). */
+SweepAxis sweepFarmControls(const std::vector<std::string> &modes);
 
 /** Sweep the over-provisioning factor α. */
 SweepAxis sweepOverProvision(const std::vector<double> &alphas);
@@ -166,6 +187,14 @@ class ExperimentRunner
  * E[P] in watts, and budget verdict — the columns every bench prints.
  */
 TablePrinter resultsTable(const std::vector<ScenarioResult> &results);
+
+/**
+ * Per-server breakdown of one farm result: server index, platform,
+ * dispatched jobs, mean response, watts, and budget verdict — the view
+ * a heterogeneous or per-server-control run is read through. fatal()
+ * when the result carries no per-server rows (non-farm engines).
+ */
+TablePrinter serversTable(const ScenarioResult &result);
 
 /**
  * Serialize results as CSV (uniform schema; the union of extras across

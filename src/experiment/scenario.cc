@@ -101,6 +101,27 @@ ScenarioSpec::validate() const
         dispatcherRegistry().get(dispatcher);
         fatalIf(farmSize == 0,
                 "ScenarioSpec '" + label + "': farmSize must be >= 1");
+        fatalIf(farmControl != "farm-wide" && farmControl != "per-server",
+                "ScenarioSpec '" + label + "': unknown farmControl '" +
+                    farmControl +
+                    "' (use \"farm-wide\" or \"per-server\")");
+        fatalIf(!farmPlatforms.empty() &&
+                    farmPlatforms.size() != farmSize,
+                "ScenarioSpec '" + label + "': farmPlatforms lists " +
+                    std::to_string(farmPlatforms.size()) +
+                    " entries for a farm of " +
+                    std::to_string(farmSize) +
+                    " servers (one name per server, or none)");
+        bool heterogeneous = false;
+        for (const std::string &name : farmPlatforms) {
+            platformRegistry().get(name);
+            heterogeneous =
+                heterogeneous || name != farmPlatforms.front();
+        }
+        fatalIf(heterogeneous && farmControl != "per-server",
+                "ScenarioSpec '" + label +
+                    "': a heterogeneous farmPlatforms mix needs "
+                    "farmControl(\"per-server\")");
     }
 }
 
@@ -305,6 +326,29 @@ ScenarioBuilder &
 ScenarioBuilder::packingSpillBacklog(double seconds)
 {
     _spec.packingSpillBacklog = seconds;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::farmControl(const std::string &mode)
+{
+    _spec.farmControl = mode;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::farmPlatforms(std::vector<std::string> names)
+{
+    _spec.farmPlatforms = std::move(names);
+    if (!_spec.farmPlatforms.empty())
+        _spec.farmSize = _spec.farmPlatforms.size();
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::decisionThreads(std::size_t threads)
+{
+    _spec.decisionThreads = threads;
     return *this;
 }
 

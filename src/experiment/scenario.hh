@@ -56,7 +56,7 @@ std::string toString(EngineKind kind);
  */
 struct TraceSpec
 {
-    std::string kind = "es";
+    std::string kind = "es";           ///< Trace family or CSV path.
     unsigned days = 1;                 ///< Days synthesized (es/fs).
     std::uint64_t seed = 20140614;     ///< Synthesis seed (es/fs).
     unsigned windowStartHour = 0;      ///< Daily window start (incl.).
@@ -78,12 +78,12 @@ struct TraceSpec
 struct ScenarioSpec
 {
     std::string label;                  ///< Row label in reports.
-    EngineKind engine = EngineKind::SingleServer;
+    EngineKind engine = EngineKind::SingleServer; ///< Executing engine.
 
     std::string workload = "dns";       ///< Workload registry name.
     bool idealizedWorkload = false;     ///< Use spec.idealized().
     std::string platform = "xeon";      ///< Platform registry name.
-    TraceSpec trace;
+    TraceSpec trace;                    ///< Utilization trace feed.
 
     // Job source (single-server and farm engines). Sources stream jobs
     // into the engines epoch by epoch — nothing is materialized.
@@ -100,7 +100,7 @@ struct ScenarioSpec
     unsigned epochMinutes = 5;          ///< Update interval T.
     double overProvision = 0.35;        ///< α.
     double rhoB = 0.8;                  ///< ρ_b anchoring the QoS budget.
-    QosMetric qosMetric = QosMetric::MeanResponse;
+    QosMetric qosMetric = QosMetric::MeanResponse; ///< Bounded statistic.
     std::string predictor = "LC";       ///< Predictor registry name.
     std::size_t predictorHistory = 10;  ///< Predictor tap count p.
     std::size_t searchThreads = 1;      ///< Policy-search fan-out width.
@@ -110,11 +110,16 @@ struct ScenarioSpec
     std::size_t farmSize = 4;           ///< Back-end server count.
     std::string dispatcher = "random";  ///< Dispatcher registry name.
     double packingSpillBacklog = 1.0;   ///< Packing spill threshold, s.
+    std::string farmControl = "farm-wide"; ///< "farm-wide" | "per-server".
+    /** Per-server platform names (empty = homogeneous `platform`; a
+     * heterogeneous mix needs farmControl "per-server"). */
+    std::vector<std::string> farmPlatforms;
+    std::size_t decisionThreads = 0;    ///< Per-server decision fan-out.
 
     // Multicore engine (fixed package policy over a stationary load).
     std::size_t cores = 4;              ///< Cores in the package.
     double frequency = 1.0;             ///< Shared DVFS factor.
-    LowPowerState coreState = LowPowerState::C6S0Idle;
+    LowPowerState coreState = LowPowerState::C6S0Idle; ///< Idle descent.
     double packageSleepDelay = 1.0;     ///< Joint-idle S3 delay, s.
     double rho = 0.1;                   ///< Per-core offered load.
     std::size_t jobCount = 60000;       ///< Stationary job count.
@@ -142,14 +147,20 @@ class ScenarioBuilder
     /** Resume building from an existing spec (sweep expansion). */
     static ScenarioBuilder from(const ScenarioSpec &spec);
 
+    /** Executing engine (single server, farm, or multicore). */
     ScenarioBuilder &engine(EngineKind kind);
+    /** Workload by registry name ("dns", "mail", "google"). */
     ScenarioBuilder &workload(const std::string &name);
+    /** Replace the workload with its idealized (M/M/1) variant. */
     ScenarioBuilder &idealizedWorkload(bool on = true);
+    /** Platform model by registry name ("xeon", "atom"). */
     ScenarioBuilder &platform(const std::string &name);
 
     /** Trace kind: "es", "fs", "flat", or a CSV path. */
     ScenarioBuilder &trace(const std::string &kind);
+    /** Days of synthetic trace to generate (es/fs kinds). */
     ScenarioBuilder &traceDays(unsigned days);
+    /** Synthesis seed of the es/fs trace generators. */
     ScenarioBuilder &traceSeed(std::uint64_t seed);
     /** Daily evaluation window [start, end) in hours. */
     ScenarioBuilder &window(unsigned start_hour, unsigned end_hour);
@@ -169,31 +180,57 @@ class ScenarioBuilder
     /** CSV job log for the replay source (implies source("replay")). */
     ScenarioBuilder &replayPath(const std::string &path);
 
+    /** Strategy by registry name ("SS", "DVFS", "R2H(C6)", ...). */
     ScenarioBuilder &strategy(const std::string &name);
+    /** Policy update interval T, minutes. */
     ScenarioBuilder &epochMinutes(unsigned minutes);
+    /** Over-provisioning factor α (Section 5.2.3 guard band). */
     ScenarioBuilder &overProvision(double alpha);
+    /** Peak design utilization ρ_b anchoring the QoS budget. */
     ScenarioBuilder &rhoB(double rho_b);
+    /** Which response-time statistic the QoS budget bounds. */
     ScenarioBuilder &qosMetric(QosMetric metric);
+    /** Predictor by registry name ("NP", "LMS", "LC", "Offline"). */
     ScenarioBuilder &predictor(const std::string &name);
+    /** Predictor tap/history count p. */
     ScenarioBuilder &predictorHistory(std::size_t taps);
     /** Candidate-search fan-out width (1 = serial, 0 = hardware). */
     ScenarioBuilder &searchThreads(std::size_t threads);
     /** Binary-search the QoS feasibility boundary per plan. */
     ScenarioBuilder &prunedSearch(bool on = true);
 
+    /** Number of back-end servers in the farm. */
     ScenarioBuilder &farmSize(std::size_t servers);
+    /** Dispatcher by registry name ("random", "JSQ", "packing", ...). */
     ScenarioBuilder &dispatcher(const std::string &name);
+    /** Packing-dispatcher spill threshold, seconds of backlog. */
     ScenarioBuilder &packingSpillBacklog(double seconds);
+    /** Farm control mode: "farm-wide" or "per-server". */
+    ScenarioBuilder &farmControl(const std::string &mode);
+    /** One platform name per server (implies farmSize; a mixed list
+     * needs farmControl("per-server")). */
+    ScenarioBuilder &farmPlatforms(std::vector<std::string> names);
+    /** Per-server epoch-decision fan-out width (0 = auto). */
+    ScenarioBuilder &decisionThreads(std::size_t threads);
 
+    /** Cores in the multicore package. */
     ScenarioBuilder &cores(std::size_t count);
+    /** Shared DVFS frequency factor of the package. */
     ScenarioBuilder &frequency(double f);
+    /** Per-core idle descent state of the package policy. */
     ScenarioBuilder &coreState(LowPowerState state);
+    /** Joint-idle delay before the package drops to S3, seconds. */
     ScenarioBuilder &packageSleepDelay(double seconds);
+    /** Per-core offered load of the multicore scenario. */
     ScenarioBuilder &rho(double per_core_load);
+    /** Stationary job count the multicore scenario runs. */
     ScenarioBuilder &jobCount(std::size_t count);
 
+    /** Master seed every engine-drawn RNG derives from. */
     ScenarioBuilder &seed(std::uint64_t master_seed);
+    /** Capture the per-epoch CSV in the result (single-server). */
     ScenarioBuilder &captureEpochs(bool on = true);
+    /** Replace the scenario's row label. */
     ScenarioBuilder &label(const std::string &text);
 
     /** Validate and return the finished spec. */

@@ -57,6 +57,7 @@ class Dispatcher
 class RandomDispatcher final : public Dispatcher
 {
   public:
+    /** @param seed Seed of the routing RNG. */
     explicit RandomDispatcher(std::uint64_t seed = 1);
     std::size_t route(const Job &job,
                       const std::vector<ServerSnapshot> &servers)

@@ -5,12 +5,85 @@
 
 #include "core/policy_manager.hh"
 #include "util/error.hh"
+#include "util/thread_pool.hh"
 
 namespace sleepscale {
 
 namespace {
 
 constexpr double secondsPerMinute = 60.0;
+
+/**
+ * Rebuild a logged job history as an evaluation log whose offered load
+ * equals the predicted per-server utilization: gaps between consecutive
+ * logged arrivals keep their shape and are scaled uniformly so
+ * demand / span lands on the (clamped) prediction. Returns an empty log
+ * when the history is too thin or degenerate to characterize (fewer
+ * than two jobs, zero span, or zero demand).
+ */
+std::vector<Job>
+rescaleHistoryToPrediction(const std::vector<Job> &history,
+                           double predicted)
+{
+    std::vector<Job> log;
+    if (history.size() < 2)
+        return log;
+    const double span = history.back().arrival - history.front().arrival;
+    double demand = 0.0;
+    for (std::size_t i = 1; i < history.size(); ++i)
+        demand += history[i].size;
+    if (span <= 0.0 || demand <= 0.0)
+        return log;
+
+    const double measured = demand / span;
+    const double target = std::clamp(predicted, 0.01, 0.99);
+    const double gap_scale = measured / target;
+    log.reserve(history.size());
+    double clock =
+        span / static_cast<double>(history.size()) * gap_scale;
+    log.push_back({clock, history.front().size});
+    for (std::size_t i = 1; i < history.size(); ++i) {
+        clock += (history[i].arrival - history[i - 1].arrival) *
+                 gap_scale;
+        log.push_back({clock, history[i].size});
+    }
+    return log;
+}
+
+/** Drop all but the most recent `cap` jobs of a rolling history. */
+void
+trimHistory(std::vector<Job> &history, std::size_t cap)
+{
+    if (history.size() > cap) {
+        history.erase(history.begin(),
+                      history.end() - static_cast<std::ptrdiff_t>(cap));
+    }
+}
+
+/** Whether a harvested window (an epoch's, or a server's whole-run
+ * total) met the QoS budget. An empty window never qualifies: it has
+ * no response statistic, so it neither arms the over-provisioning
+ * boost nor counts as budget-compliant in reports. */
+bool
+windowWithinBudget(const QosConstraint &qos, const SimStats &stats)
+{
+    return stats.completions > 0 && qos.satisfiedBy(stats);
+}
+
+/** Raise a decided policy's frequency by (1 + α) when the previous
+ * epoch met its budget (Section 5.2.3). Returns whether it boosted. */
+bool
+applyOverProvision(Policy &policy, double alpha, bool last_within)
+{
+    if (alpha <= 0.0 || !last_within)
+        return false;
+    const double boosted =
+        std::min(1.0, policy.frequency * (1.0 + alpha));
+    if (boosted <= policy.frequency)
+        return false;
+    policy.frequency = boosted;
+    return true;
+}
 
 } // namespace
 
@@ -53,16 +126,85 @@ FarmRuntime::FarmRuntime(const PlatformModel &platform,
             "FarmRuntime: farm size must be >= 1");
     fatalIf(_config.perServer.epochMinutes == 0,
             "FarmRuntime: epochMinutes must be positive");
+    fatalIf(_config.control != "farm-wide" &&
+                _config.control != "per-server",
+            "FarmRuntime: unknown control mode '" + _config.control +
+                "' (use \"farm-wide\" or \"per-server\")");
     // Fail fast on misspelled dispatcher names: get() lists the
     // registered alternatives, and catching it here (instead of inside
     // run()) surfaces the mistake while the configuration site is still
     // on the stack.
     dispatcherRegistry().get(_config.dispatcher);
-    if (!_config.perServer.fixedPolicy) {
-        _manager = std::make_unique<PolicyManager>(
-            _platform, _spec.scaling, _config.perServer.space, _qos,
-            _config.perServer.search);
+
+    // Resolve the per-server platform mix. The resolved vector is sized
+    // here once and never mutated again: the per-server managers hold
+    // references into it.
+    if (!_config.platforms.empty()) {
+        fatalIf(_config.platforms.size() != _config.farmSize,
+                "FarmRuntime: platforms lists " +
+                    std::to_string(_config.platforms.size()) +
+                    " entries for a farm of " +
+                    std::to_string(_config.farmSize) +
+                    " servers (give one platform name per server, or "
+                    "none for a homogeneous farm)");
+        _resolvedPlatforms.reserve(_config.platforms.size());
+        for (const std::string &name : _config.platforms)
+            _resolvedPlatforms.push_back(platformByName(name));
+        bool heterogeneous = false;
+        for (const std::string &name : _config.platforms)
+            heterogeneous =
+                heterogeneous || name != _config.platforms.front();
+        fatalIf(heterogeneous && !perServerControl(),
+                "FarmRuntime: a heterogeneous platform mix needs "
+                "control = \"per-server\" (one farm-wide decision "
+                "cannot bind to multiple power models)");
     }
+    _serverPlatforms.reserve(_config.farmSize);
+    for (std::size_t i = 0; i < _config.farmSize; ++i)
+        _serverPlatforms.push_back(_resolvedPlatforms.empty()
+                                       ? &_platform
+                                       : &_resolvedPlatforms[i]);
+
+    if (!_config.perServer.fixedPolicy) {
+        if (perServerControl()) {
+            _managers.reserve(_config.farmSize);
+            for (std::size_t i = 0; i < _config.farmSize; ++i) {
+                _managers.push_back(std::make_unique<PolicyManager>(
+                    *_serverPlatforms[i], _spec.scaling,
+                    _config.perServer.space, _qos,
+                    _config.perServer.search));
+            }
+        } else {
+            _manager = std::make_unique<PolicyManager>(
+                *_serverPlatforms.front(), _spec.scaling,
+                _config.perServer.space, _qos, _config.perServer.search);
+        }
+    }
+}
+
+bool
+FarmRuntime::perServerControl() const
+{
+    return _config.control == "per-server";
+}
+
+const PolicyManager &
+FarmRuntime::serverManager(std::size_t server) const
+{
+    fatalIf(_managers.empty(),
+            "FarmRuntime::serverManager: no per-server managers (needs "
+            "control = \"per-server\" and no fixed policy)");
+    fatalIf(server >= _managers.size(),
+            "FarmRuntime::serverManager: server index out of range");
+    return *_managers[server];
+}
+
+const PlatformModel &
+FarmRuntime::serverPlatform(std::size_t server) const
+{
+    fatalIf(server >= _serverPlatforms.size(),
+            "FarmRuntime::serverPlatform: server index out of range");
+    return *_serverPlatforms[server];
 }
 
 FarmRuntimeResult
@@ -79,32 +221,53 @@ FarmRuntime::run(JobSource &source, const UtilizationTrace &trace,
                  UtilizationPredictor &predictor) const
 {
     fatalIf(trace.empty(), "FarmRuntime::run: empty trace");
+    return perServerControl() ? runPerServer(source, trace, predictor)
+                              : runFarmWide(source, trace, predictor);
+}
 
+FarmRuntimeResult
+FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
+                         UtilizationPredictor &predictor) const
+{
     const std::size_t minutes = trace.size();
     const unsigned epoch_len = _config.perServer.epochMinutes;
     const double farm_size = static_cast<double>(_config.farmSize);
 
-    ServerFarm farm(_platform, _spec.scaling,
-                    _config.perServer.initialPolicy, _config.farmSize,
+    ServerFarm farm(_serverPlatforms, _spec.scaling,
+                    _config.perServer.initialPolicy,
                     makeDispatcher(_config.dispatcher,
                                    _config.dispatchSeed,
                                    _config.packingSpillBacklog));
 
     FarmRuntimeResult result;
     result.qos = _qos;
+    result.control = _config.control;
+    result.servers.resize(_config.farmSize);
+    for (std::size_t i = 0; i < _config.farmSize; ++i) {
+        result.servers[i].server = i;
+        result.servers[i].platform = _serverPlatforms[i]->name();
+    }
 
     // One-job lookahead; the only job buffer kept across the run is
     // the thinned decision log below, capped at evalLogCap.
     Job pending;
     bool has_pending = source.next(pending);
     std::vector<Job> history;     // Thinned to one server's view.
-    std::size_t thin_counter = 0;
     bool last_epoch_within_budget = false;
     Policy current = _config.perServer.initialPolicy;
-    Rng thin_rng(_config.dispatchSeed + 77);
 
     EpochReport epoch;
     epoch.policy = current;
+
+    // Close the current epoch: attribute per-server windows, merge the
+    // farm view, and remember whether the farm met its budget.
+    auto closeEpoch = [&](const std::vector<SimStats> &windows) {
+        for (std::size_t i = 0; i < windows.size(); ++i)
+            result.servers[i].total.merge(windows[i]);
+        epoch.stats = ServerFarm::mergeWindows(windows);
+        last_epoch_within_budget = windowWithinBudget(_qos, epoch.stats);
+        result.epochs.push_back(epoch);
+    };
 
     for (std::size_t minute = 0; minute < minutes; ++minute) {
         const double t = static_cast<double>(minute) * secondsPerMinute;
@@ -112,13 +275,8 @@ FarmRuntime::run(JobSource &source, const UtilizationTrace &trace,
         if (minute % epoch_len == 0) {
             farm.advanceTo(t);
 
-            if (minute > 0) {
-                epoch.stats = farm.harvestWindow();
-                last_epoch_within_budget =
-                    epoch.stats.completions > 0 &&
-                    _qos.satisfiedBy(epoch.stats);
-                result.epochs.push_back(epoch);
-            }
+            if (minute > 0)
+                closeEpoch(farm.harvestWindows());
 
             epoch = EpochReport{};
             epoch.index = result.epochs.size();
@@ -134,55 +292,23 @@ FarmRuntime::run(JobSource &source, const UtilizationTrace &trace,
                 epoch.feasible = true;
             } else if (history.size() >= 2) {
                 // Rescale the thinned log to the predicted per-server
-                // load (same construction as the single-server runtime).
-                const double span =
-                    history.back().arrival - history.front().arrival;
-                double demand = 0.0;
-                for (std::size_t i = 1; i < history.size(); ++i)
-                    demand += history[i].size;
-                if (span > 0.0 && demand > 0.0) {
-                    const double measured = demand / span;
-                    const double target =
-                        std::clamp(predicted, 0.01, 0.99);
-                    const double gap_scale = measured / target;
-                    std::vector<Job> log;
-                    log.reserve(history.size());
-                    double clock = span /
-                                   static_cast<double>(history.size()) *
-                                   gap_scale;
-                    log.push_back({clock, history.front().size});
-                    for (std::size_t i = 1; i < history.size(); ++i) {
-                        clock += (history[i].arrival -
-                                  history[i - 1].arrival) *
-                                 gap_scale;
-                        log.push_back({clock, history[i].size});
-                    }
+                // load (shape-preserving gap scaling, as in the
+                // single-server runtime's buildEvalLog; the farm keeps
+                // one rolling history rather than per-epoch buckets).
+                const std::vector<Job> log =
+                    rescaleHistoryToPrediction(history, predicted);
+                if (!log.empty()) {
                     const PolicyDecision decision =
                         _manager->selectFromLog(log);
                     current = decision.policy;
                     epoch.feasible = decision.feasible;
                     epoch.decided = true;
-                    if (_config.perServer.overProvision > 0.0 &&
-                        last_epoch_within_budget) {
-                        const double boosted = std::min(
-                            1.0,
-                            current.frequency *
-                                (1.0 +
-                                 _config.perServer.overProvision));
-                        if (boosted > current.frequency) {
-                            current.frequency = boosted;
-                            epoch.boosted = true;
-                        }
-                    }
+                    epoch.boosted = applyOverProvision(
+                        current, _config.perServer.overProvision,
+                        last_epoch_within_budget);
                 }
                 // Bound the rolling log.
-                if (history.size() > _config.perServer.evalLogCap) {
-                    history.erase(
-                        history.begin(),
-                        history.end() -
-                            static_cast<std::ptrdiff_t>(
-                                _config.perServer.evalLogCap));
-                }
+                trimHistory(history, _config.perServer.evalLogCap);
             }
 
             epoch.policy = current;
@@ -192,14 +318,18 @@ FarmRuntime::run(JobSource &source, const UtilizationTrace &trace,
         const double minute_end = t + secondsPerMinute;
         double minute_demand = 0.0;
         while (has_pending && pending.arrival < minute_end) {
-            farm.offerJob(pending);
+            const std::size_t routed = farm.offerJob(pending);
             minute_demand += pending.size;
-            // Thin the aggregate stream down to one server's share so
-            // the policy manager characterizes a single back-end.
-            // Fixed-policy runs never decide, so they keep no log at
-            // all — the stream passes through in O(1) job memory.
-            if (!_config.perServer.fixedPolicy &&
-                thin_counter++ % _config.farmSize == 0)
+            // Thin the aggregate stream down to one server's view by
+            // logging exactly the jobs the dispatcher routed to server
+            // 0 — the literal arrival process of a representative
+            // back-end (a deterministic every-Nth pick would smooth
+            // the gaps toward Erlang shape and bias the decision
+            // optimistic). Per-server control generalizes this log to
+            // every server. Fixed-policy runs never decide, so they
+            // keep no log at all — the stream passes through in O(1)
+            // job memory.
+            if (!_config.perServer.fixedPolicy && routed == 0)
                 history.push_back(pending);
             has_pending = source.next(pending);
         }
@@ -213,12 +343,187 @@ FarmRuntime::run(JobSource &source, const UtilizationTrace &trace,
     const double horizon =
         std::max(trace.duration(), farm.nextFreeTime());
     farm.advanceTo(horizon);
-    epoch.stats = farm.harvestWindow();
-    result.epochs.push_back(epoch);
+    closeEpoch(farm.harvestWindows());
 
     for (const EpochReport &report : result.epochs)
         result.total.merge(report.stats);
     result.jobsPerServer = farm.jobsPerServer();
+    for (std::size_t i = 0; i < _config.farmSize; ++i) {
+        result.servers[i].jobsRouted = result.jobsPerServer[i];
+        // A server that completed nothing has no response statistic to
+        // meet the budget with — report it as not-within rather than
+        // vacuously compliant.
+        result.servers[i].withinBudget =
+            windowWithinBudget(_qos, result.servers[i].total);
+    }
+    return result;
+}
+
+FarmRuntimeResult
+FarmRuntime::runPerServer(JobSource &source,
+                          const UtilizationTrace &trace,
+                          UtilizationPredictor &predictor) const
+{
+    const std::size_t minutes = trace.size();
+    const unsigned epoch_len = _config.perServer.epochMinutes;
+    const std::size_t size = _config.farmSize;
+    const double farm_size = static_cast<double>(size);
+    const bool fixed =
+        static_cast<bool>(_config.perServer.fixedPolicy);
+
+    ServerFarm farm(_serverPlatforms, _spec.scaling,
+                    _config.perServer.initialPolicy,
+                    makeDispatcher(_config.dispatcher,
+                                   _config.dispatchSeed,
+                                   _config.packingSpillBacklog));
+
+    FarmRuntimeResult result;
+    result.qos = _qos;
+    result.control = _config.control;
+    result.servers.resize(size);
+    for (std::size_t i = 0; i < size; ++i) {
+        result.servers[i].server = i;
+        result.servers[i].platform = _serverPlatforms[i]->name();
+    }
+
+    // Per-server rolling logs of the jobs the dispatcher actually
+    // routed to each back-end — the local view each autonomous
+    // controller characterizes. Fixed-policy runs keep none.
+    std::vector<std::vector<Job>> history(size);
+    std::vector<Policy> current(size,
+                                _config.perServer.initialPolicy);
+    std::vector<bool> last_within(size, false);
+    std::vector<EpochReport> server_epoch(size);
+    for (std::size_t i = 0; i < size; ++i)
+        server_epoch[i].policy = current[i];
+
+    // Scratch for the parallel decision fan-out, indexed by server so
+    // the reduction below is deterministic for any pool width.
+    std::vector<PolicyDecision> decisions(size);
+    std::vector<char> decided(size, 0);
+
+    // The decision pool lives for one run, not the runtime's lifetime:
+    // idle FarmRuntimes (e.g. queued behind an ExperimentRunner sweep)
+    // then hold no worker threads, which keeps thread counts sane when
+    // many farm scenarios run concurrently.
+    std::unique_ptr<ThreadPool> decision_pool;
+    if (!fixed) {
+        const std::size_t lanes =
+            _config.decisionThreads == 0
+                ? std::min(size, ThreadPool::hardwareLanes())
+                : std::min(_config.decisionThreads, size);
+        decision_pool = std::make_unique<ThreadPool>(lanes);
+    }
+
+    Job pending;
+    bool has_pending = source.next(pending);
+
+    // Close the epoch on every server: attribute per-server windows,
+    // push per-server reports, and merge the farm-level view.
+    auto closeEpoch = [&](const std::vector<SimStats> &windows) {
+        for (std::size_t i = 0; i < size; ++i) {
+            server_epoch[i].stats = windows[i];
+            last_within[i] = windowWithinBudget(_qos, windows[i]);
+            result.servers[i].total.merge(windows[i]);
+            result.servers[i].epochs.push_back(server_epoch[i]);
+        }
+        EpochReport merged = server_epoch.front();
+        merged.stats = ServerFarm::mergeWindows(windows);
+        result.epochs.push_back(merged);
+    };
+
+    for (std::size_t minute = 0; minute < minutes; ++minute) {
+        const double t = static_cast<double>(minute) * secondsPerMinute;
+
+        if (minute % epoch_len == 0) {
+            farm.advanceTo(t);
+
+            if (minute > 0)
+                closeEpoch(farm.harvestWindows());
+
+            const std::size_t epoch_index = result.epochs.size();
+            const double predicted =
+                std::clamp(predictor.predict(minute), 0.0, 1.0);
+
+            if (fixed) {
+                for (std::size_t i = 0; i < size; ++i)
+                    current[i] = *_config.perServer.fixedPolicy;
+            } else {
+                // Fan the per-server selections out across the pool.
+                // Each lane touches only its own server's history and
+                // manager (one eval engine per server), results land by
+                // server index, and the reduction below runs in index
+                // order — so any pool width is bit-identical to serial.
+                std::fill(decided.begin(), decided.end(), 0);
+                decision_pool->parallelFor(
+                    size, [&](std::size_t i, std::size_t) {
+                        const std::vector<Job> log =
+                            rescaleHistoryToPrediction(history[i],
+                                                       predicted);
+                        if (log.empty())
+                            return;
+                        decisions[i] = _managers[i]->selectFromLog(log);
+                        decided[i] = 1;
+                    });
+            }
+
+            for (std::size_t i = 0; i < size; ++i) {
+                EpochReport &epoch = server_epoch[i];
+                epoch = EpochReport{};
+                epoch.index = epoch_index;
+                epoch.startTime = t;
+                epoch.predictedUtilization = predicted;
+                if (fixed) {
+                    epoch.decided = true;
+                    epoch.feasible = true;
+                } else if (decided[i]) {
+                    current[i] = decisions[i].policy;
+                    epoch.feasible = decisions[i].feasible;
+                    epoch.decided = true;
+                    epoch.boosted = applyOverProvision(
+                        current[i], _config.perServer.overProvision,
+                        last_within[i]);
+                }
+                if (!fixed)
+                    trimHistory(history[i],
+                                _config.perServer.evalLogCap);
+                epoch.policy = current[i];
+                farm.setPolicy(i, current[i], t);
+            }
+        }
+
+        const double minute_end = t + secondsPerMinute;
+        double minute_demand = 0.0;
+        while (has_pending && pending.arrival < minute_end) {
+            const std::size_t routed = farm.offerJob(pending);
+            minute_demand += pending.size;
+            // Each server logs exactly the jobs dispatched to it — its
+            // own local view, nothing shared.
+            if (!fixed)
+                history[routed].push_back(pending);
+            has_pending = source.next(pending);
+        }
+        farm.advanceTo(minute_end);
+
+        const double observed = std::clamp(
+            minute_demand / (secondsPerMinute * farm_size), 0.0, 1.0);
+        predictor.observe(minute, observed);
+    }
+
+    const double horizon =
+        std::max(trace.duration(), farm.nextFreeTime());
+    farm.advanceTo(horizon);
+    closeEpoch(farm.harvestWindows());
+
+    for (const EpochReport &report : result.epochs)
+        result.total.merge(report.stats);
+    result.jobsPerServer = farm.jobsPerServer();
+    for (std::size_t i = 0; i < size; ++i) {
+        result.servers[i].jobsRouted = result.jobsPerServer[i];
+        // As in runFarmWide: no completions, no budget claim.
+        result.servers[i].withinBudget =
+            windowWithinBudget(_qos, result.servers[i].total);
+    }
     return result;
 }
 

@@ -3,13 +3,27 @@
  * Epoch-driven SleepScale control for a server farm (paper Section 7).
  *
  * The paper conjectures that SleepScale scales out by running on each
- * server independently. With a symmetric dispatcher the per-server
- * arrival processes are statistically identical, so this runtime makes
- * one decision per epoch from a *thinned* aggregate job log (keeping
- * every farm-size-th event reproduces a single server's view under
- * random splitting) and applies it farm-wide — equivalent to N
- * independent SleepScale instances in the symmetric case while running
- * the queueing characterization once.
+ * server independently. This runtime implements both readings of that
+ * conjecture as named control modes:
+ *
+ *  - "farm-wide": one decision per epoch from a *thinned* aggregate job
+ *    log — the jobs the dispatcher routes to server 0, the literal
+ *    arrival process of one representative back-end — applied to every
+ *    server. Valid for
+ *    symmetric dispatchers over identical servers, and cheap: the
+ *    queueing characterization runs once per epoch.
+ *  - "per-server": every back-end owns its own PolicyManager (whose
+ *    eval-engine plan cache and arenas persist across epochs) fed by
+ *    the jobs the dispatcher actually routed to it. Decisions fan out
+ *    across a thread pool each epoch and are applied in deterministic
+ *    server-index order, so any pool width reproduces the serial run.
+ *    This is the general mode: it supports heterogeneous platform
+ *    mixes (big/little farms) and skewed dispatchers, where per-server
+ *    decisions legitimately diverge.
+ *
+ * In the symmetric homogeneous case the two modes make statistically
+ * identical decisions (pinned by tests/farm_per_server_test.cc), which
+ * is the paper's Section 7 scale-out argument made executable.
  */
 
 #ifndef SLEEPSCALE_FARM_FARM_RUNTIME_HH
@@ -41,9 +55,59 @@ struct FarmRuntimeConfig
     /** Seed for stochastic dispatchers. */
     std::uint64_t dispatchSeed = 1;
 
+    /** Control mode: "farm-wide" (one thinned-log decision applied
+     * everywhere) or "per-server" (autonomous per-server decisions from
+     * each server's own dispatched log). */
+    std::string control = "farm-wide";
+
+    /** Per-server platform names resolved against platformRegistry().
+     * Empty means homogeneous (every server uses the platform passed to
+     * the FarmRuntime constructor); otherwise the length must equal
+     * farmSize and heterogeneous mixes require per-server control. */
+    std::vector<std::string> platforms;
+
+    /** Fan-out width of the per-server epoch decision loop: 1 decides
+     * serially, N > 1 uses an N-lane pool, 0 picks one lane per server
+     * up to the hardware concurrency. Any width yields bit-identical
+     * decisions (reduction is in server-index order). */
+    std::size_t decisionThreads = 0;
+
     /** Per-server policy-management knobs (epoch length, α, ρ_b, QoS
      * metric, candidate space, log caps). */
     RuntimeConfig perServer;
+};
+
+/** One back-end's slice of a farm run (always populated; per-epoch
+ * reports are filled under per-server control, where each server
+ * decides for itself). */
+struct FarmServerReport
+{
+    /** Server index in [0, farmSize). */
+    std::size_t server = 0;
+
+    /** Name of the platform model this server ran. */
+    std::string platform;
+
+    /** This server's whole-run statistics (watts are server watts). */
+    SimStats total;
+
+    /** This server's per-epoch decisions and outcomes ("per-server"
+     * control only; empty under "farm-wide", whose single decision
+     * stream lives in FarmRuntimeResult::epochs). */
+    std::vector<EpochReport> epochs;
+
+    /** Jobs the dispatcher routed to this server. */
+    std::uint64_t jobsRouted = 0;
+
+    /** Whether this server's pooled response statistic met the farm's
+     * QoS budget. */
+    bool withinBudget = false;
+
+    /** Whole-run mean response of this server's jobs, seconds. */
+    double meanResponse() const { return total.meanResponse(); }
+
+    /** Whole-run average power of this server, watts. */
+    double avgPower() const { return total.avgPower(); }
 };
 
 /** Aggregate outcome of a farm run. */
@@ -52,12 +116,22 @@ struct FarmRuntimeResult
     /** Farm-wide merged statistics (watts are farm watts). */
     SimStats total;
 
-    /** Epoch reports (policy decisions are farm-wide). */
+    /** Farm-level epoch reports. Under "farm-wide" control the policy
+     * fields are the farm-wide decisions; under "per-server" control
+     * they carry server 0's policy as a representative (the full
+     * per-server decision streams are in servers[i].epochs). */
     std::vector<EpochReport> epochs;
+
+    /** Per-server breakdown, one entry per back-end in index order. */
+    std::vector<FarmServerReport> servers;
+
+    /** Control mode that produced this result. */
+    std::string control = "farm-wide";
 
     /** Jobs routed to each server. */
     std::vector<std::uint64_t> jobsPerServer;
 
+    /** The QoS constraint the run was managed against. */
     QosConstraint qos = QosConstraint::meanBudget(1.0);
 
     /** Whole-run mean response, seconds. */
@@ -75,9 +149,14 @@ class FarmRuntime
 {
   public:
     /**
-     * @param platform Power model shared by the servers (not owned).
+     * @param platform Power model shared by the servers (not owned)
+     *        when config.platforms is empty; otherwise only the
+     *        fallback for unspecified entries.
      * @param spec Workload characterization.
-     * @param config Farm and per-server knobs.
+     * @param config Farm and per-server knobs; validated up front
+     *        (farm size, dispatcher and platform names, control mode,
+     *        platform-list length) so misconfigurations fail at the
+     *        construction site with actionable messages.
      */
     FarmRuntime(const PlatformModel &platform, const WorkloadSpec &spec,
                 FarmRuntimeConfig config);
@@ -86,15 +165,19 @@ class FarmRuntime
      * Run a streaming aggregate job source through the farm.
      *
      * Jobs are pulled epoch by epoch with one-job lookahead; the only
-     * job buffers are the thinned decision log (capped at evalLogCap)
-     * and the lookahead itself, so a million-job day streams in
-     * O(history) memory with no full-trace materialization.
+     * job buffers are the decision logs (the thinned farm-wide log, or
+     * one log per server under per-server control, each capped at
+     * evalLogCap) and the lookahead itself, so a million-job day
+     * streams in O(history) memory with no full-trace materialization.
      *
      * @param source Aggregate arrivals (consumed); the trace's
      *             utilization is the *per-server* offered load (total
      *             demand divided by the farm size).
      * @param trace Per-minute per-server utilization targets.
-     * @param predictor Observes per-server offered load each minute.
+     * @param predictor Observes per-server offered load each minute;
+     *             under per-server control its forecast is the shared
+     *             per-server load target each autonomous controller
+     *             rescales its own log to.
      */
     FarmRuntimeResult run(JobSource &source,
                           const UtilizationTrace &trace,
@@ -112,10 +195,19 @@ class FarmRuntime
     /** The QoS constraint derived from the configuration. */
     const QosConstraint &qos() const { return _qos; }
 
-    /** The per-epoch policy manager (absent for fixed-policy
-     * configurations). Persistent across epochs and runs so the
-     * evaluation engine's plan cache and arenas are reused. */
+    /** The farm-wide policy manager (absent for fixed-policy or
+     * per-server configurations). Persistent across epochs and runs so
+     * the evaluation engine's plan cache and arenas are reused. */
     const PolicyManager *manager() const { return _manager.get(); }
+
+    /** One server's autonomous policy manager (per-server control
+     * only; fatal() otherwise or when the index is out of range).
+     * Persistent across epochs and runs, so each server's eval-engine
+     * cache survives the whole farm lifetime. */
+    const PolicyManager &serverManager(std::size_t server) const;
+
+    /** Resolved power model of one server. */
+    const PlatformModel &serverPlatform(std::size_t server) const;
 
   private:
     const PlatformModel &_platform;
@@ -123,10 +215,36 @@ class FarmRuntime
     FarmRuntimeConfig _config;
     QosConstraint _qos;
 
-    /** Persistent manager + evaluation engine; its arenas mutate during
-     * selection, so concurrent run() calls on one instance are not
-     * safe. */
+    /** Platform models resolved from config.platforms (empty for a
+     * homogeneous farm on the constructor platform). Sized once in the
+     * constructor — the per-server managers hold references into it. */
+    std::vector<PlatformModel> _resolvedPlatforms;
+
+    /** One non-owning pointer per server into _resolvedPlatforms (or
+     * to the constructor platform), fixed at construction. */
+    std::vector<const PlatformModel *> _serverPlatforms;
+
+    /** Farm-wide persistent manager + evaluation engine; its arenas
+     * mutate during selection, so concurrent run() calls on one
+     * instance are not safe. */
     std::unique_ptr<PolicyManager> _manager;
+
+    /** Per-server persistent managers (per-server control; one per
+     * back-end so each keeps its own eval-engine cache). The decision
+     * pool that fans selections out over them is created per run(), so
+     * an idle runtime holds no worker threads. */
+    std::vector<std::unique_ptr<PolicyManager>> _managers;
+
+    /** Whether config.control selects autonomous per-server control. */
+    bool perServerControl() const;
+
+    FarmRuntimeResult runFarmWide(JobSource &source,
+                                  const UtilizationTrace &trace,
+                                  UtilizationPredictor &predictor) const;
+
+    FarmRuntimeResult runPerServer(JobSource &source,
+                                   const UtilizationTrace &trace,
+                                   UtilizationPredictor &predictor) const;
 };
 
 /**

@@ -20,6 +20,22 @@ ServerFarm::ServerFarm(const PlatformModel &platform,
     _jobsRouted.assign(size, 0);
 }
 
+ServerFarm::ServerFarm(const std::vector<const PlatformModel *> &platforms,
+                       ServiceScaling scaling, const Policy &initial,
+                       std::unique_ptr<Dispatcher> dispatcher)
+    : _dispatcher(std::move(dispatcher))
+{
+    fatalIf(platforms.empty(), "ServerFarm: need at least one server");
+    fatalIf(!_dispatcher, "ServerFarm: dispatcher must not be null");
+    _servers.reserve(platforms.size());
+    for (const PlatformModel *platform : platforms) {
+        fatalIf(platform == nullptr,
+                "ServerFarm: per-server platform must not be null");
+        _servers.emplace_back(*platform, scaling, initial);
+    }
+    _jobsRouted.assign(platforms.size(), 0);
+}
+
 std::vector<ServerSnapshot>
 ServerFarm::snapshots(double now) const
 {
@@ -80,9 +96,27 @@ ServerFarm::policy(std::size_t server) const
 SimStats
 ServerFarm::harvestWindow()
 {
-    SimStats merged = _servers.front().harvestWindow();
-    for (std::size_t i = 1; i < _servers.size(); ++i) {
-        const SimStats window = _servers[i].harvestWindow();
+    return mergeWindows(harvestWindows());
+}
+
+std::vector<SimStats>
+ServerFarm::harvestWindows()
+{
+    std::vector<SimStats> windows;
+    windows.reserve(_servers.size());
+    for (ServerSim &server : _servers)
+        windows.push_back(server.harvestWindow());
+    return windows;
+}
+
+SimStats
+ServerFarm::mergeWindows(const std::vector<SimStats> &windows)
+{
+    fatalIf(windows.empty(),
+            "ServerFarm::mergeWindows: need at least one window");
+    SimStats merged = windows.front();
+    for (std::size_t i = 1; i < windows.size(); ++i) {
+        const SimStats &window = windows[i];
         // Servers share the wall clock: add energies/residencies and
         // pool responses without extending the window span.
         merged.energy += window.energy;
@@ -101,6 +135,14 @@ ServerFarm::harvestWindow()
         merged.windowEnd = std::max(merged.windowEnd, window.windowEnd);
     }
     return merged;
+}
+
+const PlatformModel &
+ServerFarm::platform(std::size_t server) const
+{
+    fatalIf(server >= _servers.size(),
+            "ServerFarm::platform: server index out of range");
+    return _servers[server].platform();
 }
 
 SimStats

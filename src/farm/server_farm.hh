@@ -6,7 +6,9 @@
  * and accounting as the single-server experiments — so farm-level
  * results compose from validated parts. The farm exposes the same
  * offer/advance/harvest interface as a single server, with aggregate
- * and per-server statistics.
+ * and per-server statistics. Back-ends may run heterogeneous platform
+ * models (a big/little mix), in which case each server's power and
+ * wake-latency accounting uses its own model.
  */
 
 #ifndef SLEEPSCALE_FARM_SERVER_FARM_HH
@@ -21,11 +23,13 @@
 
 namespace sleepscale {
 
-/** Fixed-size homogeneous server farm. */
+/** Fixed-size server farm (homogeneous or per-server platforms). */
 class ServerFarm
 {
   public:
     /**
+     * Homogeneous farm: every server shares one power model.
+     *
      * @param platform Power model shared by all servers (not owned).
      * @param scaling Service-time scaling law.
      * @param initial Policy every server starts with.
@@ -34,6 +38,20 @@ class ServerFarm
      */
     ServerFarm(const PlatformModel &platform, ServiceScaling scaling,
                const Policy &initial, std::size_t size,
+               std::unique_ptr<Dispatcher> dispatcher);
+
+    /**
+     * Heterogeneous farm: one power model per server.
+     *
+     * @param platforms Per-server power models (none owned, none null;
+     *        all must outlive the farm). The farm size is
+     *        platforms.size() (>= 1).
+     * @param scaling Service-time scaling law shared by the servers.
+     * @param initial Policy every server starts with.
+     * @param dispatcher Routing strategy (owned).
+     */
+    ServerFarm(const std::vector<const PlatformModel *> &platforms,
+               ServiceScaling scaling, const Policy &initial,
                std::unique_ptr<Dispatcher> dispatcher);
 
     /** Number of servers. */
@@ -68,6 +86,22 @@ class ServerFarm
 
     /** Harvest one server's window. */
     SimStats harvestWindow(std::size_t server);
+
+    /** Harvest every server's window, one entry per server (per-server
+     * control reads these individually and merges with mergeWindows()
+     * for the farm view). */
+    std::vector<SimStats> harvestWindows();
+
+    /**
+     * Merge per-server windows into one farm window with
+     * harvestWindow()'s semantics: energies and residencies add,
+     * responses pool, and the window span is the union wall-clock span
+     * (so avgPower() reports farm watts). Needs >= 1 window.
+     */
+    static SimStats mergeWindows(const std::vector<SimStats> &windows);
+
+    /** Power model of one server. */
+    const PlatformModel &platform(std::size_t server) const;
 
     /** Jobs routed to each server so far. */
     const std::vector<std::uint64_t> &jobsPerServer() const

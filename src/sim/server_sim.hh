@@ -113,6 +113,9 @@ class ServerSim
     /** Policy currently in force. */
     const Policy &policy() const { return _policy; }
 
+    /** Power model this server accounts against. */
+    const PlatformModel &platform() const { return _platform; }
+
     /**
      * Return the statistics accumulated since the last harvest (or since
      * construction) and start a new window at the current accounted time.

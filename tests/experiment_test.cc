@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 
 #include "core/predictor.hh"
 #include "core/strategies.hh"
@@ -147,6 +148,102 @@ TEST(ScenarioBuilder, JobSourceKnobsRoundTrip)
     EXPECT_DOUBLE_EQ(spec.burstRateFactor, 6.0);
     EXPECT_DOUBLE_EQ(spec.burstMeanLength, 90.0);
     EXPECT_DOUBLE_EQ(spec.burstMeanGap, 900.0);
+}
+
+TEST(ScenarioBuilder, FarmControlAndPlatformMixValidation)
+{
+    // farmPlatforms pins the farm size to the list length.
+    const ScenarioSpec spec =
+        ScenarioBuilder("het")
+            .engine(EngineKind::Farm)
+            .flatTrace(0.2, 20)
+            .farmControl("per-server")
+            .farmPlatforms({"xeon", "xeon", "atom", "atom"})
+            .decisionThreads(2)
+            .build();
+    EXPECT_EQ(spec.farmSize, 4u);
+    EXPECT_EQ(spec.farmControl, "per-server");
+    EXPECT_EQ(spec.decisionThreads, 2u);
+
+    EXPECT_THROW(ScenarioBuilder("s")
+                     .engine(EngineKind::Farm)
+                     .farmControl("per-rack")
+                     .build(),
+                 ConfigError);
+    EXPECT_THROW(ScenarioBuilder("s")
+                     .engine(EngineKind::Farm)
+                     .farmSize(3)
+                     .farmPlatforms({"xeon", "atom", "xeon"})
+                     .farmSize(2) // Length no longer matches.
+                     .build(),
+                 ConfigError);
+    EXPECT_THROW(ScenarioBuilder("s")
+                     .engine(EngineKind::Farm)
+                     .farmPlatforms({"xeon", "epyc"})
+                     .farmControl("per-server")
+                     .build(),
+                 ConfigError);
+    // A heterogeneous mix requires autonomous per-server control.
+    EXPECT_THROW(ScenarioBuilder("s")
+                     .engine(EngineKind::Farm)
+                     .farmPlatforms({"xeon", "atom"})
+                     .farmControl("farm-wide")
+                     .build(),
+                 ConfigError);
+}
+
+TEST(ExperimentRunner, HeterogeneousFarmScenarioReportsPerServer)
+{
+    const ScenarioSpec spec =
+        ScenarioBuilder("big.LITTLE")
+            .engine(EngineKind::Farm)
+            .workload("dns")
+            .flatTrace(0.25, 20)
+            .farmControl("per-server")
+            .farmPlatforms({"xeon", "atom"})
+            .dispatcher("random")
+            .epochMinutes(5)
+            .predictor("NP")
+            .seed(33)
+            .build();
+    const ScenarioResult result = ExperimentRunner::runScenario(spec);
+
+    ASSERT_EQ(result.servers.size(), 2u);
+    EXPECT_EQ(result.servers[0].platform, platformByName("xeon").name());
+    EXPECT_EQ(result.servers[1].platform, platformByName("atom").name());
+    EXPECT_EQ(result.servers[0].jobs + result.servers[1].jobs,
+              result.jobs);
+    EXPECT_NEAR(result.servers[0].avgPower + result.servers[1].avgPower,
+                result.avgPower, 1e-6 * std::max(1.0, result.avgPower));
+    // The per-server breakdown renders as a table, one row per server.
+    std::ostringstream out;
+    serversTable(result).print(out);
+    EXPECT_NE(out.str().find("Atom"), std::string::npos);
+
+    // Non-farm engines carry no per-server rows.
+    const ScenarioResult single = ExperimentRunner::runScenario(
+        ScenarioBuilder("single")
+            .workload("dns")
+            .flatTrace(0.2, 10)
+            .predictor("NP")
+            .build());
+    EXPECT_TRUE(single.servers.empty());
+    EXPECT_THROW(serversTable(single), ConfigError);
+}
+
+TEST(ExpandGrid, FarmControlAxisExpands)
+{
+    const ScenarioSpec base = ScenarioBuilder("farm")
+                                  .engine(EngineKind::Farm)
+                                  .flatTrace(0.2, 20)
+                                  .build();
+    const auto grid = expandGrid(
+        base, {sweepFarmControls({"farm-wide", "per-server"})});
+    ASSERT_EQ(grid.size(), 2u);
+    EXPECT_EQ(grid[0].farmControl, "farm-wide");
+    EXPECT_EQ(grid[1].farmControl, "per-server");
+    EXPECT_NE(grid[1].label.find("control=per-server"),
+              std::string::npos);
 }
 
 TEST(ExperimentRunner, BurstySourceScenarioSmoke)

@@ -30,6 +30,19 @@ else
     echo "bench smoke skipped: $bench not built (no Google Benchmark)"
 fi
 
+# Docs check: the public farm/experiment headers must document every
+# public declaration. tools/doc_lint.py enforces the coverage rules
+# everywhere; when the doxygen binary is installed the tracked Doxyfile
+# runs the same check with WARN_AS_ERROR so Doxygen-syntax errors fail
+# too. Zero warnings is the bar (see docs/ARCHITECTURE.md).
+python3 "$repo_root/tools/doc_lint.py"
+if command -v doxygen >/dev/null 2>&1; then
+    (cd "$repo_root" && doxygen Doxyfile)
+    echo "doxygen docs check OK"
+else
+    echo "doxygen not installed; doc_lint covered the docs check"
+fi
+
 # Sanitizer pass: Debug + ASan/UBSan over the suites that exercise the
 # streaming job-source paths and the engines that consume them. Benches
 # and examples are skipped (Release covers their build) and the heavy

@@ -17,12 +17,15 @@
  *   sleepscale trace  [--kind es|fs] [--days 3] [--seed 42]
  *                     [--out trace.csv]
  *   sleepscale farm   [--servers 4] [--dispatcher packing]
- *                     [--trace es|fs] [--workload dns] [--T 5]
- *                     [--alpha 0.35] [--seed 1]
+ *                     [--control farm-wide|per-server]
+ *                     [--platform xeon] [--platforms xeon,atom,...]
+ *                     [--decision-threads 0] [--trace es|fs]
+ *                     [--workload dns] [--T 5] [--alpha 0.35] [--seed 1]
  *   sleepscale grid   [--engine single|farm] [--sweep-T 1,5,10]
  *                     [--sweep-predictor LC,NP] [--sweep-strategy ...]
  *                     [--sweep-dispatcher ...] [--sweep-servers ...]
- *                     [--sweep-alpha ...] [--threads 0] [--csv out.csv]
+ *                     [--sweep-alpha ...] [--sweep-control ...]
+ *                     [--threads 0] [--csv out.csv]
  *                     plus any base option of run/farm
  *
  * run, farm, and grid are thin shells over the unified experiment API:
@@ -64,9 +67,10 @@ const std::set<std::string> knownOptions = {
     "out",        "servers",    "dispatcher", "strategy",
     "engine",     "threads",    "csv",        "sweep-T",
     "sweep-predictor", "sweep-strategy", "sweep-dispatcher",
-    "sweep-servers", "sweep-alpha", "help",
+    "sweep-servers", "sweep-alpha", "sweep-control", "help",
     "source",     "replay",     "util",       "burst-factor",
-    "burst-len",  "burst-gap",
+    "burst-len",  "burst-gap",  "platform",   "platforms",
+    "control",    "decision-threads",
 };
 
 QosMetric
@@ -127,6 +131,7 @@ scenarioFromArgs(const CliArgs &args, EngineKind engine)
     ScenarioBuilder builder(toString(engine));
     builder.engine(engine)
         .workload(args.get("workload", "dns"))
+        .platform(args.get("platform", "xeon"))
         .strategy(args.get("strategy", "SS"))
         .epochMinutes(
             static_cast<unsigned>(args.getUnsigned("T", 5)))
@@ -136,7 +141,22 @@ scenarioFromArgs(const CliArgs &args, EngineKind engine)
         .predictor(args.get("predictor", "LC"))
         .farmSize(args.getUnsigned("servers", 4))
         .dispatcher(args.get("dispatcher", "packing"))
+        .farmControl(args.get("control", "farm-wide"))
+        .decisionThreads(args.getUnsigned("decision-threads", 0))
         .seed(args.getUnsigned("seed", 1));
+    // --platforms xeon,xeon,atom,atom names one platform per server
+    // (and pins the farm size to the list length); an explicit
+    // --servers must agree rather than be silently overridden.
+    if (args.has("platforms")) {
+        const auto platforms = splitCsv(args.get("platforms", ""));
+        fatalIf(args.has("servers") &&
+                    args.getUnsigned("servers", 0) != platforms.size(),
+                "--platforms lists " + std::to_string(platforms.size()) +
+                    " platforms but --servers asks for " +
+                    args.get("servers", "") +
+                    " (drop --servers or make them agree)");
+        builder.farmPlatforms(platforms);
+    }
 
     const std::string trace = args.get("trace", "es");
     builder.trace(trace)
@@ -293,13 +313,15 @@ cmdFarm(const CliArgs &args)
         ExperimentRunner::runScenario(spec);
 
     std::cout << "servers:       " << spec.farmSize << " ("
-              << spec.dispatcher << ")\n"
+              << spec.dispatcher << ", " << spec.farmControl
+              << " control)\n"
               << "jobs:          " << result.jobs << '\n'
               << "mean response: " << result.meanResponse << " s\n"
               << "farm power:    " << result.avgPower << " W  ("
               << result.extra("per_server_w") << " W/server)\n"
               << "within budget: "
-              << (result.withinBudget ? "yes" : "no") << '\n';
+              << (result.withinBudget ? "yes" : "no") << "\n\n";
+    serversTable(result).print(std::cout);
     return 0;
 }
 
@@ -341,6 +363,9 @@ cmdGrid(const CliArgs &args)
     if (args.has("sweep-dispatcher"))
         axes.push_back(sweepDispatchers(
             splitCsv(args.get("sweep-dispatcher", ""))));
+    if (args.has("sweep-control"))
+        axes.push_back(sweepFarmControls(
+            splitCsv(args.get("sweep-control", ""))));
     if (args.has("sweep-servers")) {
         std::vector<std::size_t> values;
         for (const std::string &item :
@@ -352,7 +377,8 @@ cmdGrid(const CliArgs &args)
     fatalIf(axes.empty(),
             "grid: give at least one --sweep-* axis "
             "(--sweep-T, --sweep-alpha, --sweep-predictor, "
-            "--sweep-strategy, --sweep-dispatcher, --sweep-servers)");
+            "--sweep-strategy, --sweep-dispatcher, --sweep-servers, "
+            "--sweep-control)");
 
     ExperimentRunner runner(args.getUnsigned("threads", 0));
     runner.addGrid(base, axes);
@@ -389,7 +415,12 @@ printUsage()
         "  predictors:  " + predictorRegistry().namesCsv() + "\n"
         "  strategies:  " + strategyRegistry().namesCsv() + "\n"
         "  dispatchers: " + dispatcherRegistry().namesCsv() + "\n"
+        "  platforms:   " + platformRegistry().namesCsv() + "\n"
         "  job sources: " + jobSourceRegistry().namesCsv() + "\n"
+        "\n"
+        "farm control modes: farm-wide (one thinned-log decision for\n"
+        "all servers) | per-server (autonomous per-server decisions;\n"
+        "required for heterogeneous --platforms mixes)\n"
         "\n"
         "run `sleepscale <command> --help` semantics are documented at\n"
         "the top of tools/sleepscale_cli.cc and in the README.\n";
