@@ -1,0 +1,474 @@
+#include "experiment/replication.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hh"
+#include "util/rng.hh"
+#include "util/student_t.hh"
+#include "util/thread_pool.hh"
+
+namespace sleepscale {
+
+namespace {
+
+/**
+ * The metric schema of one replication: the core result fields plus
+ * every engine extra, in a stable order. The replication layer
+ * summarizes the metrics this list shares across all replications.
+ */
+std::vector<std::pair<std::string, double>>
+metricValues(const ScenarioResult &result)
+{
+    std::vector<std::pair<std::string, double>> values = {
+        {"mean_response_s", result.meanResponse},
+        {"normalized_mean", result.normalizedMean},
+        {"p95_response_s", result.p95Response},
+        {"p99_response_s", result.p99Response},
+        {"avg_power_w", result.avgPower},
+        {"energy_j", result.energy},
+        {"elapsed_s", result.elapsed},
+        {"jobs", static_cast<double>(result.jobs)},
+        {"qos_violation", result.withinBudget ? 0.0 : 1.0},
+    };
+    values.insert(values.end(), result.extras.begin(),
+                  result.extras.end());
+    return values;
+}
+
+/** Look up a metric by name in one replication's schema. */
+const double *
+findValue(const std::vector<std::pair<std::string, double>> &values,
+          const std::string &name)
+{
+    for (const auto &entry : values) {
+        if (entry.first == name)
+            return &entry.second;
+    }
+    return nullptr;
+}
+
+std::string
+formatCell(double value, int precision)
+{
+    std::ostringstream out;
+    out.precision(precision);
+    out << value;
+    return out.str();
+}
+
+/** CI column suffix for a confidence level, e.g. 0.95 -> "ci95". */
+std::string
+ciSuffix(double confidence)
+{
+    return "ci" + std::to_string(static_cast<int>(
+                      std::lround(confidence * 100.0)));
+}
+
+} // namespace
+
+// ---------------------------------------------------------- MetricSummary
+
+double
+MetricSummary::mean() const
+{
+    if (samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : samples)
+        sum += x;
+    return sum / static_cast<double>(samples.size());
+}
+
+double
+MetricSummary::stddev() const
+{
+    const std::size_t n = samples.size();
+    if (n < 2)
+        return 0.0;
+    const double m = mean();
+    double m2 = 0.0;
+    for (double x : samples)
+        m2 += (x - m) * (x - m);
+    return std::sqrt(m2 / static_cast<double>(n - 1));
+}
+
+double
+MetricSummary::ciHalfWidth() const
+{
+    const std::size_t n = samples.size();
+    if (n < 2)
+        return 0.0;
+    const double critical = studentTCriticalValue(confidence, n - 1);
+    return critical * stddev() / std::sqrt(static_cast<double>(n));
+}
+
+bool
+MetricSummary::covers(double value) const
+{
+    const double half = ciHalfWidth();
+    const double m = mean();
+    return value >= m - half && value <= m + half;
+}
+
+std::string
+MetricSummary::toString(int precision) const
+{
+    std::ostringstream out;
+    out.precision(precision);
+    out << mean() << " ± " << ciHalfWidth();
+    return out.str();
+}
+
+MetricSummary
+summarizeSamples(std::string name, std::vector<double> samples,
+                 double confidence)
+{
+    fatalIf(confidence <= 0.0 || confidence >= 1.0,
+            "summarizeSamples: confidence must be in (0, 1)");
+    MetricSummary summary;
+    summary.name = std::move(name);
+    summary.samples = std::move(samples);
+    summary.confidence = confidence;
+    return summary;
+}
+
+// ------------------------------------------------------- ReplicatedResult
+
+const MetricSummary &
+ReplicatedResult::metric(const std::string &name) const
+{
+    for (const MetricSummary &summary : metrics) {
+        if (summary.name == name)
+            return summary;
+    }
+    std::string known;
+    for (const MetricSummary &summary : metrics)
+        known += (known.empty() ? "" : ", ") + summary.name;
+    fatal("ReplicatedResult '" + spec.label + "': no metric '" + name +
+          "' (summarized: " + known + ")");
+}
+
+bool
+ReplicatedResult::hasMetric(const std::string &name) const
+{
+    for (const MetricSummary &summary : metrics) {
+        if (summary.name == name)
+            return true;
+    }
+    return false;
+}
+
+ReplicatedResult
+summarizeReplications(const ScenarioSpec &spec,
+                      std::vector<ScenarioResult> replications,
+                      double confidence)
+{
+    fatalIf(replications.empty(),
+            "summarizeReplications: need at least one replication");
+    fatalIf(confidence <= 0.0 || confidence >= 1.0,
+            "summarizeReplications: confidence must be in (0, 1)");
+
+    ReplicatedResult result;
+    result.spec = spec;
+    result.confidence = confidence;
+
+    // Summarize every metric the first replication reports that all
+    // later replications also report — engine extras with unstable
+    // keys drop out instead of producing ragged sample sets.
+    std::vector<std::vector<std::pair<std::string, double>>> schemas;
+    schemas.reserve(replications.size());
+    for (const ScenarioResult &replication : replications)
+        schemas.push_back(metricValues(replication));
+
+    for (const auto &[name, first_value] : schemas.front()) {
+        std::vector<double> samples{first_value};
+        samples.reserve(schemas.size());
+        bool shared = true;
+        for (std::size_t i = 1; i < schemas.size() && shared; ++i) {
+            const double *value = findValue(schemas[i], name);
+            if (value == nullptr)
+                shared = false;
+            else
+                samples.push_back(*value);
+        }
+        if (shared)
+            result.metrics.push_back(summarizeSamples(
+                name, std::move(samples), confidence));
+    }
+
+    result.replications = std::move(replications);
+    return result;
+}
+
+// ------------------------------------------------------- PairedComparison
+
+const MetricSummary &
+PairedComparison::delta(const std::string &name) const
+{
+    for (const MetricSummary &summary : deltas) {
+        if (summary.name == name)
+            return summary;
+    }
+    fatal("PairedComparison '" + a.spec.label + "' vs '" + b.spec.label +
+          "': no delta metric '" + name + "'");
+}
+
+// -------------------------------------------------------- ReplicationPlan
+
+ReplicationPlan::ReplicationPlan(std::size_t replications,
+                                 std::size_t threads, double confidence)
+    : _replications(replications), _threads(threads),
+      _confidence(confidence)
+{
+    fatalIf(_replications == 0,
+            "ReplicationPlan: replications must be >= 1");
+    fatalIf(_confidence <= 0.0 || _confidence >= 1.0,
+            "ReplicationPlan: confidence must be in (0, 1)");
+    if (_threads == 0)
+        _threads = ThreadPool::hardwareLanes();
+}
+
+std::uint64_t
+ReplicationPlan::replicationSeed(std::uint64_t base, std::size_t index)
+{
+    // One splitmix64 step along the golden-ratio sequence: the same
+    // derivation the generator's own seeding uses, so replication
+    // streams are decorrelated from each other and from the base run.
+    constexpr std::uint64_t goldenGamma = 0x9E3779B97F4A7C15ULL;
+    return mixSeed(base +
+                   goldenGamma * (static_cast<std::uint64_t>(index) + 1));
+}
+
+ReplicatedResult
+ReplicationPlan::run(const ScenarioSpec &spec) const
+{
+    spec.validate();
+    std::vector<ScenarioResult> replications(_replications);
+
+    // Results land by replication index, so any pool width bit-matches
+    // a sequential run: each replication derives all randomness from
+    // its own derived seed.
+    ThreadPool pool(std::min(_threads, _replications));
+    pool.parallelFor(_replications, [&](std::size_t i, std::size_t) {
+        ScenarioSpec replication = spec;
+        replication.seed = replicationSeed(spec.seed, i);
+        replication.replications = 1;
+        replications[i] = ExperimentRunner::runScenario(replication);
+    });
+    return summarizeReplications(spec, std::move(replications),
+                                 _confidence);
+}
+
+PairedComparison
+ReplicationPlan::comparePaired(const ScenarioSpec &a,
+                               const ScenarioSpec &b) const
+{
+    // Common random numbers: both scenarios replicate under the seed
+    // stream derived from a.seed, so replication i of each sees the
+    // identical arrival stream and the paired delta cancels the
+    // stream-to-stream Monte-Carlo noise.
+    ScenarioSpec b_crn = b;
+    b_crn.seed = a.seed;
+
+    PairedComparison comparison;
+    comparison.a = run(a);
+    comparison.b = run(b_crn);
+
+    for (const MetricSummary &metric_a : comparison.a.metrics) {
+        if (!comparison.b.hasMetric(metric_a.name))
+            continue;
+        const MetricSummary &metric_b =
+            comparison.b.metric(metric_a.name);
+        std::vector<double> deltas(_replications);
+        for (std::size_t i = 0; i < _replications; ++i)
+            deltas[i] = metric_a.samples[i] - metric_b.samples[i];
+        comparison.deltas.push_back(summarizeSamples(
+            metric_a.name, std::move(deltas), _confidence));
+    }
+
+    // Relative savings of A over B, in percent (positive = A cheaper).
+    for (const char *name : {"energy_j", "avg_power_w"}) {
+        if (!comparison.a.hasMetric(name) ||
+            !comparison.b.hasMetric(name))
+            continue;
+        const MetricSummary &metric_a = comparison.a.metric(name);
+        const MetricSummary &metric_b = comparison.b.metric(name);
+        std::vector<double> savings(_replications);
+        bool defined = true;
+        for (std::size_t i = 0; i < _replications && defined; ++i) {
+            if (metric_b.samples[i] == 0.0)
+                defined = false;
+            else
+                savings[i] = 100.0 * (1.0 - metric_a.samples[i] /
+                                                metric_b.samples[i]);
+        }
+        if (defined)
+            comparison.deltas.push_back(summarizeSamples(
+                std::string(name) == "energy_j" ? "energy_savings_pct"
+                                                : "power_savings_pct",
+                std::move(savings), _confidence));
+    }
+    return comparison;
+}
+
+// ------------------------------------------------- ExperimentRunner glue
+
+ReplicatedResult
+ExperimentRunner::runReplicated(const ScenarioSpec &spec,
+                                std::size_t threads, double confidence)
+{
+    return ReplicationPlan(spec.replications, threads, confidence)
+        .run(spec);
+}
+
+std::vector<ReplicatedResult>
+ExperimentRunner::runReplicated(double confidence) const
+{
+    const std::vector<ScenarioSpec> &specs = scenarios();
+    std::vector<ReplicatedResult> results;
+    if (specs.empty())
+        return results;
+
+    // Flatten (scenario, replication) into one index space so one pool
+    // keeps every lane busy across the whole grid; the reduction walks
+    // scenarios in queue order and replications in index order, so the
+    // outcome is independent of the pool width.
+    std::vector<std::size_t> offsets(specs.size() + 1, 0);
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        offsets[i + 1] = offsets[i] + specs[i].replications;
+    const std::size_t total = offsets.back();
+
+    std::vector<ScenarioResult> flat(total);
+    ThreadPool pool(std::min(_threads, total));
+    pool.parallelFor(total, [&](std::size_t item, std::size_t) {
+        const std::size_t scenario_index = static_cast<std::size_t>(
+            std::upper_bound(offsets.begin(), offsets.end(), item) -
+            offsets.begin() - 1);
+        const ScenarioSpec &base = specs[scenario_index];
+        ScenarioSpec replication = base;
+        replication.seed = ReplicationPlan::replicationSeed(
+            base.seed, item - offsets[scenario_index]);
+        replication.replications = 1;
+        flat[item] = runScenario(replication);
+    });
+
+    results.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        std::vector<ScenarioResult> replications(
+            flat.begin() + static_cast<std::ptrdiff_t>(offsets[i]),
+            flat.begin() + static_cast<std::ptrdiff_t>(offsets[i + 1]));
+        results.push_back(summarizeReplications(
+            specs[i], std::move(replications), confidence));
+    }
+    return results;
+}
+
+// ------------------------------------------------------- tables and CSV
+
+TablePrinter
+replicationTable(const std::vector<ReplicatedResult> &results)
+{
+    TablePrinter table({"scenario", "engine", "n", "mu*E[R] ± CI",
+                        "p95 (svc) ± CI", "E[P] [W] ± CI",
+                        "energy [J] ± CI", "viol%"});
+    for (const ReplicatedResult &result : results) {
+        // Normalize response metrics to service times, as resultsTable
+        // does, using the per-replication normalized mean directly.
+        const MetricSummary &norm = result.metric("normalized_mean");
+        const MetricSummary &mean_s = result.metric("mean_response_s");
+        const MetricSummary &p95 = result.metric("p95_response_s");
+        const double service_mean =
+            mean_s.mean() > 0.0 && norm.mean() > 0.0
+                ? mean_s.mean() / norm.mean()
+                : 1.0;
+        MetricSummary p95_norm = p95;
+        for (double &x : p95_norm.samples)
+            x /= service_mean;
+        table.addRow(
+            {result.spec.label, toString(result.spec.engine),
+             std::to_string(result.replications.size()),
+             norm.toString(), p95_norm.toString(),
+             result.metric("avg_power_w").toString(),
+             result.metric("energy_j").toString(3),
+             formatCell(100.0 * result.metric("qos_violation").mean(),
+                        3)});
+    }
+    return table;
+}
+
+TablePrinter
+pairedTable(const PairedComparison &comparison)
+{
+    TablePrinter table({"metric", "A - B mean", "± CI", "CI low",
+                        "CI high", "significant?"});
+    for (const MetricSummary &delta : comparison.deltas) {
+        table.addRow({delta.name, formatCell(delta.mean(), 4),
+                      formatCell(delta.ciHalfWidth(), 4),
+                      formatCell(delta.ciLow(), 4),
+                      formatCell(delta.ciHigh(), 4),
+                      delta.excludesZero() ? "yes" : "no"});
+    }
+    return table;
+}
+
+std::string
+replicatedToCsvString(const std::vector<ReplicatedResult> &results)
+{
+    // The union of metric names across rows, first-seen order, padded
+    // blank where a row lacks the metric — one rectangular table for
+    // mixed-engine result sets, like resultsToCsvString.
+    std::vector<std::string> metric_names;
+    for (const ReplicatedResult &result : results) {
+        for (const MetricSummary &summary : result.metrics) {
+            if (std::find(metric_names.begin(), metric_names.end(),
+                          summary.name) == metric_names.end())
+                metric_names.push_back(summary.name);
+        }
+    }
+
+    const double level =
+        results.empty() ? 0.95 : results.front().confidence;
+    const std::string suffix = ciSuffix(level);
+
+    std::ostringstream out;
+    out << "label,engine,workload,strategy,predictor,seed,replications";
+    for (const std::string &name : metric_names)
+        out << ',' << name << "_mean," << name << "_sd," << name << '_'
+            << suffix;
+    out << '\n';
+
+    for (const ReplicatedResult &result : results) {
+        const ScenarioSpec &spec = result.spec;
+        out << csvQuote(spec.label) << ',' << toString(spec.engine)
+            << ',' << spec.workload << ',' << csvQuote(spec.strategy)
+            << ',' << spec.predictor << ',' << spec.seed << ','
+            << result.replications.size();
+        for (const std::string &name : metric_names) {
+            if (!result.hasMetric(name)) {
+                out << ",,,";
+                continue;
+            }
+            const MetricSummary &summary = result.metric(name);
+            out << ',' << summary.mean() << ',' << summary.stddev()
+                << ',' << summary.ciHalfWidth();
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+void
+writeReplicatedCsv(const std::string &path,
+                   const std::vector<ReplicatedResult> &results)
+{
+    std::ofstream file(path);
+    fatalIf(!file, "writeReplicatedCsv: cannot open '" + path + "'");
+    file << replicatedToCsvString(results);
+    fatalIf(!file.good(),
+            "writeReplicatedCsv: write to '" + path + "' failed");
+}
+
+} // namespace sleepscale

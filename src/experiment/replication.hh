@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Replicated experiments with confidence intervals.
+ *
+ * A single simulation run is one Monte-Carlo draw: "SleepScale beats
+ * fixed-frequency by X%" from one seed carries no error bar. This layer
+ * runs any ScenarioSpec N times under derived per-replication seeds and
+ * summarizes every metric (energy, average power, mean/p95/p99
+ * response, QoS violation rate, per-state residencies, every engine
+ * extra) with a mean, standard deviation, and Student-t confidence
+ * interval:
+ *
+ *   ReplicationPlan plan(20);
+ *   const ReplicatedResult r = plan.run(spec);
+ *   r.metric("avg_power_w").mean();         // E[P] across replications
+ *   r.metric("avg_power_w").ciHalfWidth();  // 95% CI half width
+ *
+ * Paired comparison with common random numbers sharpens A-vs-B deltas:
+ * comparePaired() reuses the same replication seeds for both scenarios,
+ * so the job streams are identical and the paired-t interval on the
+ * per-replication difference cancels the stream-to-stream noise. A
+ * predictor or strategy ordering is "statistically qualified" when the
+ * paired CI on its delta excludes zero.
+ *
+ * Replication fans out on util/thread_pool with results stored by
+ * replication index and reduced in index order, so — like the
+ * policy-evaluation engine and ExperimentRunner — any pool width is
+ * bit-identical to a sequential run. Methodology, seed-derivation and
+ * Student-t assumptions are documented in docs/STATISTICS.md.
+ */
+
+#ifndef SLEEPSCALE_EXPERIMENT_REPLICATION_HH
+#define SLEEPSCALE_EXPERIMENT_REPLICATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiment/runner.hh"
+
+namespace sleepscale {
+
+/**
+ * One metric summarized across replications: the per-replication
+ * samples (index order) plus mean / stddev / Student-t CI accessors.
+ */
+struct MetricSummary
+{
+    std::string name;            ///< Metric key, e.g. "avg_power_w".
+    std::vector<double> samples; ///< One value per replication.
+    double confidence = 0.95;    ///< Two-sided CI coverage level.
+
+    /** Number of replications summarized. */
+    std::size_t count() const { return samples.size(); }
+
+    /** Sample mean across replications; 0 when empty. */
+    double mean() const;
+
+    /** Unbiased sample standard deviation; 0 below two samples. */
+    double stddev() const;
+
+    /**
+     * Student-t confidence-interval half width t* · s / sqrt(n) at the
+     * summary's confidence level; 0 below two samples.
+     */
+    double ciHalfWidth() const;
+
+    /** Lower CI endpoint, mean() - ciHalfWidth(). */
+    double ciLow() const { return mean() - ciHalfWidth(); }
+
+    /** Upper CI endpoint, mean() + ciHalfWidth(). */
+    double ciHigh() const { return mean() + ciHalfWidth(); }
+
+    /** Whether the CI covers `value` (endpoints inclusive). */
+    bool covers(double value) const;
+
+    /**
+     * Whether the CI excludes zero — the delta is significant. Always
+     * false below two samples: one Monte-Carlo draw has a zero-width
+     * interval, and claiming significance from it would be exactly
+     * the anecdote this layer exists to prevent.
+     */
+    bool excludesZero() const
+    {
+        return samples.size() >= 2 && !covers(0.0);
+    }
+
+    /** Printable "mean ± halfwidth" with `precision` digits. */
+    std::string toString(int precision = 4) const;
+};
+
+/**
+ * Build a MetricSummary from raw per-replication samples — the same CI
+ * math the replication layer applies, reusable by tests and harnesses
+ * that replicate outside ScenarioSpec (e.g. the analytic coverage
+ * oracle in tests/statistics_test.cc).
+ */
+MetricSummary summarizeSamples(std::string name,
+                               std::vector<double> samples,
+                               double confidence = 0.95);
+
+/** Outcome of a replicated scenario: N runs plus per-metric CIs. */
+struct ReplicatedResult
+{
+    ScenarioSpec spec;        ///< Base scenario (original seed).
+    double confidence = 0.95; ///< CI coverage level of every metric.
+
+    /** Per-replication results, replication-index order; replication i
+     * ran with seed ReplicationPlan::replicationSeed(spec.seed, i). */
+    std::vector<ScenarioResult> replications;
+
+    /** Per-metric summaries: the core metrics (mean_response_s,
+     * p95_response_s, p99_response_s, avg_power_w, energy_j,
+     * qos_violation) plus every extra shared by all replications —
+     * per-state residency_* for the single-server and farm engines,
+     * s3_residency for the multicore engine, and any other engine
+     * extras. */
+    std::vector<MetricSummary> metrics;
+
+    /** Summary of a named metric; fatal() listing the known names when
+     * absent. */
+    const MetricSummary &metric(const std::string &name) const;
+
+    /** Whether a named metric was summarized. */
+    bool hasMetric(const std::string &name) const;
+};
+
+/**
+ * Summarize already-run replications of one scenario — the reduction
+ * ReplicationPlan::run applies after the fan-out.
+ *
+ * @param spec The base scenario the replications ran.
+ * @param replications Per-replication results in index order.
+ * @param confidence Two-sided CI coverage level in (0, 1).
+ */
+ReplicatedResult
+summarizeReplications(const ScenarioSpec &spec,
+                      std::vector<ScenarioResult> replications,
+                      double confidence = 0.95);
+
+/**
+ * A paired A-vs-B comparison under common random numbers: both
+ * scenarios ran the same replication seeds, and `deltas` holds the
+ * paired-t summary of the per-replication difference (A minus B) for
+ * every shared metric, plus "energy_savings_pct" and
+ * "power_savings_pct" (100 · (1 - A/B), positive when A is cheaper).
+ */
+struct PairedComparison
+{
+    ReplicatedResult a; ///< First scenario's replicated result.
+    ReplicatedResult b; ///< Second scenario's replicated result.
+
+    /** Paired per-replication deltas (A - B), one per shared metric. */
+    std::vector<MetricSummary> deltas;
+
+    /** Delta summary of a named metric; fatal() when absent. */
+    const MetricSummary &delta(const std::string &name) const;
+
+    /** Whether the paired CI on a named delta excludes zero. */
+    bool significant(const std::string &name) const
+    {
+        return delta(name).excludesZero();
+    }
+};
+
+/**
+ * Runs a scenario N times under derived seeds and reduces the results
+ * into per-metric confidence intervals.
+ */
+class ReplicationPlan
+{
+  public:
+    /**
+     * @param replications Replication count N (>= 1; CIs need >= 2).
+     * @param threads Fan-out width; 0 uses the hardware concurrency,
+     *        1 runs sequentially. Results are bit-identical at any
+     *        width (index-order reduction).
+     * @param confidence Two-sided CI coverage level in (0, 1).
+     */
+    explicit ReplicationPlan(std::size_t replications,
+                             std::size_t threads = 1,
+                             double confidence = 0.95);
+
+    /**
+     * The seed replication `index` of a scenario seeded `base` runs
+     * with: one splitmix64 step of base + (index + 1) · golden-ratio
+     * increment. Deterministic, decorrelated across replications, and
+     * shared across scenarios — the foundation of common random
+     * numbers (replication i of spec A and of spec B see identical
+     * job streams when both derive from the same base seed).
+     */
+    static std::uint64_t replicationSeed(std::uint64_t base,
+                                         std::size_t index);
+
+    /** Replication count N. */
+    std::size_t replications() const { return _replications; }
+
+    /** CI coverage level. */
+    double confidence() const { return _confidence; }
+
+    /**
+     * Run `spec` N times (spec.replications is ignored in favour of
+     * the plan's N) and summarize. Fan-out is deterministic: any
+     * thread count yields bit-identical results.
+     */
+    ReplicatedResult run(const ScenarioSpec &spec) const;
+
+    /**
+     * Run two scenarios under common random numbers and report paired
+     * deltas. Both scenarios derive their replication seeds from
+     * `a.seed`, so replication i of each sees the identical job
+     * stream regardless of `b.seed`.
+     */
+    PairedComparison comparePaired(const ScenarioSpec &a,
+                                   const ScenarioSpec &b) const;
+
+  private:
+    std::size_t _replications;
+    std::size_t _threads;
+    double _confidence;
+};
+
+/**
+ * Standard replicated-results table: label, engine, n, and mean ± CI
+ * columns for µE[R], p95 (service times), E[P] watts, energy, and the
+ * QoS violation rate.
+ */
+TablePrinter replicationTable(const std::vector<ReplicatedResult> &results);
+
+/**
+ * Paired-comparison table: one row per delta metric with the paired
+ * mean, CI, and significance verdict.
+ */
+TablePrinter pairedTable(const PairedComparison &comparison);
+
+/**
+ * Serialize replicated results as CSV: scenario identity columns, n,
+ * then <metric>_mean, <metric>_sd, <metric>_ci<level> triples for the
+ * union of metrics across rows (blank where a row lacks the metric).
+ */
+std::string
+replicatedToCsvString(const std::vector<ReplicatedResult> &results);
+
+/** Write replicatedToCsvString() to a file, fatal() on I/O failure. */
+void writeReplicatedCsv(const std::string &path,
+                        const std::vector<ReplicatedResult> &results);
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_EXPERIMENT_REPLICATION_HH

@@ -50,6 +50,25 @@ workloadOf(const ScenarioSpec &spec)
 }
 
 /**
+ * Per-state idle-residency fractions as extras (single-server and
+ * farm engines; the multicore engine reports package-level
+ * s3_residency instead). Every state is emitted (zeros included) so
+ * the metric schema is identical across replications — the
+ * replication layer summarizes the extras shared by every
+ * replication.
+ */
+void
+addResidencyExtras(ScenarioResult &result, const SimStats &total)
+{
+    const double elapsed = total.elapsed();
+    for (std::size_t i = 0; i < numLowPowerStates; ++i) {
+        result.extras.emplace_back(
+            "residency_" + toString(allLowPowerStates[i]),
+            elapsed > 0.0 ? total.idleResidency[i] / elapsed : 0.0);
+    }
+}
+
+/**
  * Build the scenario's job source. Engines pull from it epoch by
  * epoch — the stream is never materialized.
  *
@@ -95,6 +114,7 @@ runSingleServer(const ScenarioSpec &spec)
     result.meanResponse = run.meanResponse();
     result.normalizedMean = run.meanResponse() / workload.serviceMean;
     result.p95Response = run.p95Response();
+    result.p99Response = run.total.responsePercentile(99.0);
     result.avgPower = run.avgPower();
     result.energy = run.total.energy;
     result.elapsed = run.total.elapsed();
@@ -102,6 +122,7 @@ runSingleServer(const ScenarioSpec &spec)
     result.withinBudget = run.withinBudget();
     result.extras.emplace_back("epochs",
                                static_cast<double>(run.epochs.size()));
+    addResidencyExtras(result, run.total);
     const auto fractions = run.stateSelectionFractions();
     for (std::size_t i = 0; i < fractions.size(); ++i) {
         if (fractions[i] > 0.0)
@@ -151,6 +172,7 @@ runFarm(const ScenarioSpec &spec)
     result.meanResponse = run.meanResponse();
     result.normalizedMean = run.meanResponse() / workload.serviceMean;
     result.p95Response = run.total.responsePercentile(95.0);
+    result.p99Response = run.total.responsePercentile(99.0);
     result.avgPower = run.avgPower();
     result.energy = run.total.energy;
     result.elapsed = run.total.elapsed();
@@ -159,6 +181,7 @@ runFarm(const ScenarioSpec &spec)
     result.extras.emplace_back(
         "per_server_w",
         run.avgPower() / static_cast<double>(spec.farmSize));
+    addResidencyExtras(result, run.total);
     result.jobsPerServer = run.jobsPerServer;
     result.servers.reserve(run.servers.size());
     for (const FarmServerReport &server : run.servers) {
@@ -204,6 +227,7 @@ runMulticore(const ScenarioSpec &spec)
     result.normalizedMean =
         stats.response.mean() / workload.serviceMean;
     result.p95Response = stats.responseHistogram.percentile(95.0);
+    result.p99Response = stats.responseHistogram.percentile(99.0);
     result.avgPower = stats.avgPower();
     result.energy = stats.energy;
     result.elapsed = stats.elapsed;
@@ -517,31 +541,22 @@ resultsToCsvString(const std::vector<ScenarioResult> &results)
 
     std::ostringstream out;
     out << "label,engine,workload,trace,strategy,predictor,seed,"
-           "mean_response_s,normalized_mean,p95_response_s,avg_power_w,"
-           "energy_j,elapsed_s,jobs,within_budget";
+           "mean_response_s,normalized_mean,p95_response_s,"
+           "p99_response_s,avg_power_w,energy_j,elapsed_s,jobs,"
+           "within_budget";
     for (const std::string &key : extra_keys)
         out << ',' << key;
     out << '\n';
 
-    auto quote = [](const std::string &cell) {
-        if (cell.find_first_of(",\"\n") == std::string::npos)
-            return cell;
-        std::string quoted = "\"";
-        for (char c : cell) {
-            if (c == '"')
-                quoted += '"';
-            quoted += c;
-        }
-        return quoted + "\"";
-    };
-
     for (const ScenarioResult &result : results) {
         const ScenarioSpec &spec = result.spec;
-        out << quote(spec.label) << ',' << toString(spec.engine) << ','
-            << spec.workload << ',' << quote(spec.trace.label()) << ','
-            << quote(spec.strategy) << ',' << spec.predictor << ','
+        out << csvQuote(spec.label) << ',' << toString(spec.engine)
+            << ',' << spec.workload << ','
+            << csvQuote(spec.trace.label()) << ','
+            << csvQuote(spec.strategy) << ',' << spec.predictor << ','
             << spec.seed << ',' << result.meanResponse << ','
             << result.normalizedMean << ',' << result.p95Response << ','
+            << result.p99Response << ','
             << result.avgPower << ',' << result.energy << ','
             << result.elapsed << ',' << result.jobs << ','
             << (result.withinBudget ? 1 : 0);

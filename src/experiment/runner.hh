@@ -33,6 +33,9 @@
 
 namespace sleepscale {
 
+/** Replicated-scenario outcome (see experiment/replication.hh). */
+struct ReplicatedResult;
+
 /** Per-back-end summary of a farm scenario (index order). */
 struct ServerResultSummary
 {
@@ -52,6 +55,7 @@ struct ScenarioResult
     double meanResponse = 0.0;     ///< Whole-run E[R], seconds.
     double normalizedMean = 0.0;   ///< µ E[R] (service times).
     double p95Response = 0.0;      ///< 95th-percentile response, s.
+    double p99Response = 0.0;      ///< 99th-percentile response, s.
     double avgPower = 0.0;         ///< Whole-run E[P], watts.
     double energy = 0.0;           ///< Total energy, joules.
     double elapsed = 0.0;          ///< Simulated span, seconds.
@@ -174,8 +178,33 @@ class ExperimentRunner
      */
     std::vector<ScenarioResult> run() const;
 
+    /**
+     * Run every queued scenario spec.replications times under derived
+     * per-replication seeds and reduce each into per-metric Student-t
+     * confidence intervals (experiment/replication.hh). The whole
+     * (scenario × replication) space shares one worker pool; results
+     * are reduced in queue/replication index order, so any pool width
+     * is bit-identical to a sequential run.
+     *
+     * @param confidence Two-sided CI coverage level in (0, 1).
+     */
+    std::vector<ReplicatedResult>
+    runReplicated(double confidence = 0.95) const;
+
     /** Execute one scenario synchronously (validates first). */
     static ScenarioResult runScenario(const ScenarioSpec &spec);
+
+    /**
+     * Execute one scenario spec.replications times (ReplicationPlan)
+     * and summarize with confidence intervals.
+     *
+     * @param spec The scenario; spec.replications sets N.
+     * @param threads Fan-out width (0 = hardware, 1 = sequential).
+     * @param confidence Two-sided CI coverage level in (0, 1).
+     */
+    static ReplicatedResult runReplicated(const ScenarioSpec &spec,
+                                          std::size_t threads = 1,
+                                          double confidence = 0.95);
 
   private:
     std::size_t _threads;

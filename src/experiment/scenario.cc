@@ -68,6 +68,8 @@ ScenarioSpec::validate() const
     platformRegistry().get(platform);
     fatalIf(trace.kind != "flat" && trace.days == 0,
             "ScenarioSpec '" + label + "': trace days must be >= 1");
+    fatalIf(replications == 0,
+            "ScenarioSpec '" + label + "': replications must be >= 1");
     switch (engine) {
       case EngineKind::SingleServer:
       case EngineKind::Farm:
@@ -398,6 +400,13 @@ ScenarioBuilder &
 ScenarioBuilder::seed(std::uint64_t master_seed)
 {
     _spec.seed = master_seed;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::replications(std::size_t count)
+{
+    _spec.replications = count;
     return *this;
 }
 

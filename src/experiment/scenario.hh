@@ -127,6 +127,18 @@ struct ScenarioSpec
     /** Master seed; every RNG the engines draw is derived from it. */
     std::uint64_t seed = 1;
 
+    /**
+     * Monte-Carlo replications of this scenario (>= 1). A replicated
+     * run executes the scenario `replications` times under derived
+     * per-replication seeds (ReplicationPlan::replicationSeed) and
+     * reports mean / stddev / Student-t confidence intervals per
+     * metric instead of a single-seed point estimate. The utilization
+     * trace (TraceSpec.seed) is shared by all replications — the "day
+     * shape" is part of the scenario; only the job-stream and dispatch
+     * randomness varies. See docs/STATISTICS.md.
+     */
+    std::size_t replications = 1;
+
     /** Capture the per-epoch CSV in the result (single-server only). */
     bool captureEpochs = false;
 
@@ -228,6 +240,8 @@ class ScenarioBuilder
 
     /** Master seed every engine-drawn RNG derives from. */
     ScenarioBuilder &seed(std::uint64_t master_seed);
+    /** Monte-Carlo replications of the scenario (>= 1). */
+    ScenarioBuilder &replications(std::size_t count);
     /** Capture the per-epoch CSV in the result (single-server). */
     ScenarioBuilder &captureEpochs(bool on = true);
     /** Replace the scenario's row label. */

@@ -1,5 +1,6 @@
 #include "util/cli_args.hh"
 
+#include <cmath>
 #include <cstdlib>
 
 #include "util/error.hh"
@@ -50,7 +51,19 @@ CliArgs::getDouble(const std::string &key, double fallback) const
     if (it == _values.end())
         return fallback;
     try {
-        return std::stod(it->second);
+        std::size_t used = 0;
+        const double value = std::stod(it->second, &used);
+        // The whole cell must parse: "0.5x" is a typo, not 0.5. And
+        // "nan"/"inf" parse cleanly but sail through every downstream
+        // range check (NaN compares false against any bound), so
+        // non-finite values are rejected here, at the boundary.
+        fatalIf(used != it->second.size() || !std::isfinite(value),
+                "CliArgs: option '--" + key +
+                    "' expects a finite number, got '" + it->second +
+                    "'");
+        return value;
+    } catch (const ConfigError &) {
+        throw;
     } catch (const std::exception &) {
         fatal("CliArgs: option '--" + key + "' expects a number, got '" +
               it->second + "'");
@@ -64,7 +77,12 @@ CliArgs::getUnsigned(const std::string &key, unsigned long fallback) const
     if (it == _values.end())
         return fallback;
     try {
-        const long value = std::stol(it->second);
+        std::size_t used = 0;
+        const long value = std::stol(it->second, &used, 10);
+        // The whole cell must parse: "5x" is a typo, not 5.
+        fatalIf(used != it->second.size(),
+                "CliArgs: option '--" + key +
+                    "' expects an integer, got '" + it->second + "'");
         fatalIf(value < 0, "CliArgs: option '--" + key +
                                "' expects a non-negative integer");
         return static_cast<unsigned long>(value);

@@ -104,6 +104,20 @@ tryParseCsvDouble(const std::string &cell, double &out)
     }
 }
 
+std::string
+csvQuote(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    return quoted + "\"";
+}
+
 void
 writeCsvFile(const std::string &path, const CsvTable &table)
 {

@@ -49,6 +49,13 @@ CsvTable fromCsv(const std::string &text);
  */
 bool tryParseCsvDouble(const std::string &cell, double &out);
 
+/**
+ * RFC-4180 quote a text cell for CSV output: returned verbatim when no
+ * quoting is needed, otherwise wrapped in double quotes with embedded
+ * quotes doubled.
+ */
+std::string csvQuote(const std::string &cell);
+
 /** Write a table to a file, fatal() on I/O failure. */
 void writeCsvFile(const std::string &path, const CsvTable &table);
 

@@ -49,7 +49,11 @@ QuantileHistogram::upperEdge(std::size_t index) const
 void
 QuantileHistogram::add(double x)
 {
-    fatalIf(x < 0.0, "QuantileHistogram::add: samples must be >= 0");
+    // NaN would reach an undefined float-to-index cast in indexOf and
+    // +inf would poison the exact moments, so both are rejected rather
+    // than silently landing in a boundary bucket.
+    fatalIf(!std::isfinite(x) || x < 0.0,
+            "QuantileHistogram::add: samples must be finite and >= 0");
     ++_buckets[indexOf(x)];
     _moments.add(x);
 }
@@ -62,12 +66,20 @@ QuantileHistogram::percentile(double p) const
     const std::uint64_t n = count();
     if (n == 0)
         return 0.0;
+    // p = 0 would otherwise report the first bucket's upper edge (the
+    // floor when the data sit in the underflow bucket) even though the
+    // exact minimum is tracked; both extremes answer from the moments.
+    if (p == 0.0)
+        return _moments.min();
     const double target = p / 100.0 * static_cast<double>(n);
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < _buckets.size(); ++i) {
         seen += _buckets[i];
-        if (static_cast<double>(seen) >= target)
-            return upperEdge(i);
+        if (static_cast<double>(seen) >= target) {
+            // A bucket's upper edge can exceed the largest sample seen
+            // (the max lands mid-bucket); never report past the max.
+            return std::min(upperEdge(i), _moments.max());
+        }
     }
     return _moments.max();
 }
@@ -78,6 +90,15 @@ QuantileHistogram::exceedance(double x) const
     const std::uint64_t n = count();
     if (n == 0)
         return 0.0;
+    // Beyond the observed extremes the histogram's bucket resolution
+    // does not apply; answer exactly. Without these guards a query
+    // above the ceiling counted every overflow sample (even those
+    // smaller than x) and a query below the floor depended on the
+    // underflow bucket rather than the data.
+    if (x > _moments.max())
+        return 0.0;
+    if (x <= _moments.min())
+        return 1.0;
     const std::size_t cut = indexOf(x);
     std::uint64_t at_least = 0;
     for (std::size_t i = cut; i < _buckets.size(); ++i)

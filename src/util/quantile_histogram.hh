@@ -35,7 +35,7 @@ class QuantileHistogram
     explicit QuantileHistogram(double floor = 1e-6, double ceiling = 1e4,
                                unsigned buckets_per_decade = 400);
 
-    /** Absorb one sample (must be >= 0). */
+    /** Absorb one sample (must be finite and >= 0). */
     void add(double x);
 
     /** Number of samples absorbed. */
@@ -54,11 +54,17 @@ class QuantileHistogram
      * Approximate percentile.
      *
      * @param p Percentile in [0, 100].
-     * @return Upper edge of the bucket holding the p-th sample.
+     * @return Upper edge of the bucket holding the p-th sample, never
+     *         above the exact max; p = 0 returns the exact min. 0 when
+     *         the histogram is empty.
      */
     double percentile(double p) const;
 
-    /** Approximate exceedance probability Pr(X >= x). */
+    /**
+     * Approximate exceedance probability Pr(X >= x). Exact (1 or 0)
+     * when x lies at or beyond the observed extremes; 0 when the
+     * histogram is empty.
+     */
     double exceedance(double x) const;
 
     /** Merge another histogram configured with identical parameters. */

@@ -1,0 +1,120 @@
+#include "util/student_t.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+namespace {
+
+/**
+ * Continued-fraction expansion of the incomplete beta function
+ * (modified Lentz's method). Converges fast for x < (a + 1)/(a + b + 2);
+ * incompleteBeta() applies the symmetry transform to stay in that range.
+ */
+double
+betaContinuedFraction(double a, double b, double x)
+{
+    constexpr int maxIterations = 300;
+    constexpr double epsilon = 1e-15;
+    constexpr double tiny = 1e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < tiny)
+        d = tiny;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= maxIterations; ++m) {
+        const double m2 = 2.0 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < epsilon)
+            break;
+    }
+    return h;
+}
+
+} // namespace
+
+double
+incompleteBeta(double a, double b, double x)
+{
+    fatalIf(a <= 0.0 || b <= 0.0,
+            "incompleteBeta: shape parameters must be positive");
+    fatalIf(x < 0.0 || x > 1.0, "incompleteBeta: x must be in [0, 1]");
+    if (x == 0.0)
+        return 0.0;
+    if (x == 1.0)
+        return 1.0;
+
+    const double logBeta = std::lgamma(a + b) - std::lgamma(a) -
+                           std::lgamma(b) + a * std::log(x) +
+                           b * std::log1p(-x);
+    const double front = std::exp(logBeta);
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinuedFraction(a, b, x) / a;
+    return 1.0 - front * betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double
+studentTCdf(double t, std::uint64_t dof)
+{
+    fatalIf(dof == 0, "studentTCdf: degrees of freedom must be >= 1");
+    const double nu = static_cast<double>(dof);
+    const double x = nu / (nu + t * t);
+    const double tail = 0.5 * incompleteBeta(nu / 2.0, 0.5, x);
+    return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double
+studentTCriticalValue(double confidence, std::uint64_t dof)
+{
+    fatalIf(confidence <= 0.0 || confidence >= 1.0,
+            "studentTCriticalValue: confidence must be in (0, 1)");
+    fatalIf(dof == 0,
+            "studentTCriticalValue: degrees of freedom must be >= 1");
+
+    // Pr(|T| <= t*) = confidence  <=>  F(t*) = 1 - (1 - confidence)/2.
+    const double target = 1.0 - (1.0 - confidence) / 2.0;
+
+    // Bisection on the CDF: monotone, so this is robust for any dof.
+    // The bracket covers every practical case (t*(1 dof, 99.9%) ≈ 637).
+    double lo = 0.0;
+    double hi = 1e4;
+    while (studentTCdf(hi, dof) < target)
+        hi *= 10.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (studentTCdf(mid, dof) < target)
+            lo = mid;
+        else
+            hi = mid;
+        if (hi - lo < 1e-12 * (1.0 + hi))
+            break;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace sleepscale

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Student-t distribution utilities for confidence intervals.
+ *
+ * Replicated experiments summarize n independent runs with a mean and a
+ * Student-t confidence interval mean ± t* · s/√n (the standard small-n
+ * interval; see docs/STATISTICS.md for the assumptions). The critical
+ * value t* is computed from the regularized incomplete beta function,
+ * so no tables and no external math library are needed and the values
+ * are exact to ~1e-10 — far beyond what any experiment here resolves.
+ */
+
+#ifndef SLEEPSCALE_UTIL_STUDENT_T_HH
+#define SLEEPSCALE_UTIL_STUDENT_T_HH
+
+#include <cstdint>
+
+namespace sleepscale {
+
+/**
+ * Regularized incomplete beta function I_x(a, b).
+ *
+ * Evaluated by the standard continued-fraction expansion (Lentz's
+ * method) with the symmetry transformation applied where the fraction
+ * converges fastest.
+ *
+ * @param a First shape parameter (> 0).
+ * @param b Second shape parameter (> 0).
+ * @param x Evaluation point in [0, 1].
+ */
+double incompleteBeta(double a, double b, double x);
+
+/**
+ * Cumulative distribution function of Student's t with `dof` degrees
+ * of freedom, Pr(T <= t).
+ *
+ * @param t Evaluation point.
+ * @param dof Degrees of freedom (>= 1).
+ */
+double studentTCdf(double t, std::uint64_t dof);
+
+/**
+ * Upper quantile t* such that Pr(|T| <= t*) = confidence — the
+ * two-sided critical value of the mean ± t*·s/√n interval.
+ *
+ * @param confidence Two-sided coverage in (0, 1), e.g. 0.95.
+ * @param dof Degrees of freedom (>= 1; n - 1 for an n-sample mean).
+ */
+double studentTCriticalValue(double confidence, std::uint64_t dof);
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_UTIL_STUDENT_T_HH

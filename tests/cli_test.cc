@@ -61,6 +61,26 @@ TEST(CliArgs, MalformedValuesRejected)
     EXPECT_THROW(args.getUnsigned("rho", 0), ConfigError);
 }
 
+TEST(CliArgs, TrailingJunkRejected)
+{
+    // "5x" must be a loud typo, not a silent 5 — same for doubles.
+    const CliArgs args = parse({"run", "--rho", "0.5x"});
+    EXPECT_THROW(args.getDouble("rho", 0.0), ConfigError);
+    const CliArgs ints = parse({"run", "--rho", "5x"});
+    EXPECT_THROW(ints.getUnsigned("rho", 0), ConfigError);
+}
+
+TEST(CliArgs, NonFiniteDoublesRejected)
+{
+    // "nan" parses cleanly but defeats every downstream range check
+    // (NaN compares false against any bound), so the boundary rejects
+    // it — same for infinities.
+    for (const char *bad : {"nan", "inf", "-inf", "NAN"}) {
+        const CliArgs args = parse({"run", "--rho", bad});
+        EXPECT_THROW(args.getDouble("rho", 0.0), ConfigError) << bad;
+    }
+}
+
 TEST(CliArgs, NegativeUnsignedRejected)
 {
     const std::set<std::string> known = {"n"};

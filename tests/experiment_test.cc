@@ -13,6 +13,7 @@
 
 #include "core/predictor.hh"
 #include "core/strategies.hh"
+#include "experiment/replication.hh"
 #include "experiment/runner.hh"
 #include "farm/dispatcher.hh"
 #include "farm/farm_runtime.hh"
@@ -433,6 +434,33 @@ TEST(ExperimentRunner, ResultsExportUniformSchema)
     EXPECT_NE(csv.find("\"single one\"") != std::string::npos ||
                       csv.find("single one") != std::string::npos,
               false);
+}
+
+TEST(ExperimentRunner, ReplicatedRunSmoke)
+{
+    // Lifetime/threading smoke of the replication layer (the full
+    // statistical suite lives in statistics_test.cc, label "slow"):
+    // a pooled replicated run over a small grid must produce one
+    // summary per scenario with per-replication samples and CIs.
+    ScenarioSpec base = flatBase();
+    base.replications = 3;
+    ExperimentRunner runner(2);
+    runner.addGrid(base, {sweepPredictors({"NP", "LC"})});
+
+    const std::vector<ReplicatedResult> results =
+        runner.runReplicated();
+    ASSERT_EQ(results.size(), 2u);
+    for (const ReplicatedResult &result : results) {
+        ASSERT_EQ(result.replications.size(), 3u);
+        EXPECT_EQ(result.metric("avg_power_w").count(), 3u);
+        EXPECT_GT(result.metric("avg_power_w").mean(), 0.0);
+        EXPECT_GE(result.metric("avg_power_w").ciHalfWidth(), 0.0);
+    }
+    // Paired comparison under common random numbers, pooled.
+    const PairedComparison comparison =
+        ReplicationPlan(3, 2).comparePaired(runner.scenarios()[0],
+                                            runner.scenarios()[1]);
+    EXPECT_EQ(comparison.delta("energy_j").count(), 3u);
 }
 
 TEST(ExperimentRunner, CaptureEpochsProducesPerEpochTable)

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Golden decision-snapshot regression for the Table 5 workloads.
+ *
+ * Pins the per-epoch (frequency, sleep-state) decisions and the total
+ * energy of one canonical SleepScale day-slice per workload (dns,
+ * mail, google) to committed golden CSVs under tests/golden/. Any
+ * change to the predictor chain, the policy-evaluation engine, the
+ * QoS budget, or the simulator that shifts a single epoch decision
+ * fails here with a per-epoch diff instead of silently changing every
+ * figure downstream.
+ *
+ * Regeneration (after an INTENDED behavior change):
+ *
+ *   tools/update_goldens.sh
+ *
+ * which rebuilds this test and reruns it with SLEEPSCALE_UPDATE_GOLDENS=1
+ * set, rewriting the committed files; the git diff then shows exactly
+ * which decisions moved.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "experiment/runner.hh"
+#include "util/csv.hh"
+#include "util/error.hh"
+
+namespace sleepscale {
+namespace {
+
+#ifndef SLEEPSCALE_SOURCE_DIR
+#error "SLEEPSCALE_SOURCE_DIR must point at the repository root"
+#endif
+
+std::string
+goldenPath(const std::string &workload)
+{
+    return std::string(SLEEPSCALE_SOURCE_DIR) + "/tests/golden/table5_" +
+           workload + ".csv";
+}
+
+/** The canonical pinned scenario: one 2AM-8AM email-store slice. */
+ScenarioSpec
+goldenScenario(const std::string &workload)
+{
+    return ScenarioBuilder("golden " + workload)
+        .workload(workload)
+        .trace("es")
+        .traceDays(1)
+        .traceSeed(20140614)
+        .window(2, 8)
+        .epochMinutes(5)
+        .strategy("SS")
+        .overProvision(0.35)
+        .rhoB(0.8)
+        .predictor("LC")
+        .seed(20140614)
+        .captureEpochs()
+        .build();
+}
+
+/** Decisions + total energy as a CSV table (constant energy column). */
+CsvTable
+snapshotOf(const ScenarioResult &result)
+{
+    CsvTable table;
+    table.headers = {"epoch", "frequency", "state_depth",
+                     "total_energy_j"};
+    const auto epochs = result.epochs.column("epoch");
+    const auto frequencies = result.epochs.column("frequency");
+    const auto depths = result.epochs.column("state_depth");
+    for (std::size_t i = 0; i < epochs.size(); ++i)
+        table.addRow(
+            {epochs[i], frequencies[i], depths[i], result.energy});
+    return table;
+}
+
+class GoldenSnapshot : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(GoldenSnapshot, Table5DecisionsMatchGolden)
+{
+    const std::string workload = GetParam();
+    const ScenarioResult result =
+        ExperimentRunner::runScenario(goldenScenario(workload));
+    const CsvTable actual = snapshotOf(result);
+    const std::string path = goldenPath(workload);
+
+    if (std::getenv("SLEEPSCALE_UPDATE_GOLDENS") != nullptr) {
+        writeCsvFile(path, actual);
+        std::cout << "golden updated: " << path << " ("
+                  << actual.rows.size() << " epochs)\n";
+        return;
+    }
+
+    CsvTable golden;
+    try {
+        golden = readCsvFile(path);
+    } catch (const ConfigError &error) {
+        FAIL() << "cannot read golden file " << path << ": "
+               << error.what()
+               << "\n(generate it with tools/update_goldens.sh)";
+    }
+
+    ASSERT_EQ(golden.headers, actual.headers) << path;
+    ASSERT_EQ(golden.rows.size(), actual.rows.size())
+        << workload << ": epoch count changed (golden "
+        << golden.rows.size() << ", actual " << actual.rows.size()
+        << "); regenerate with tools/update_goldens.sh if intended";
+
+    // Per-epoch diff: collect every divergence before failing, so the
+    // failure message shows the whole drift, not just the first row.
+    std::string diff;
+    for (std::size_t i = 0; i < golden.rows.size(); ++i) {
+        const double golden_f = golden.rows[i][1];
+        const double actual_f = actual.rows[i][1];
+        const double golden_depth = golden.rows[i][2];
+        const double actual_depth = actual.rows[i][2];
+        if (std::fabs(golden_f - actual_f) > 1e-9 ||
+            golden_depth != actual_depth) {
+            diff += "  epoch " + std::to_string(i) + ": golden (f=" +
+                    std::to_string(golden_f) + ", depth=" +
+                    std::to_string(static_cast<int>(golden_depth)) +
+                    ") vs actual (f=" + std::to_string(actual_f) +
+                    ", depth=" +
+                    std::to_string(static_cast<int>(actual_depth)) +
+                    ")\n";
+        }
+    }
+    EXPECT_TRUE(diff.empty())
+        << workload << ": per-epoch decisions drifted from " << path
+        << ":\n"
+        << diff
+        << "regenerate with tools/update_goldens.sh if this change is "
+           "intended";
+
+    const double golden_energy = golden.rows.front()[3];
+    EXPECT_NEAR(result.energy / golden_energy, 1.0, 1e-9)
+        << workload << ": total energy drifted (golden "
+        << golden_energy << " J, actual " << result.energy << " J)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Table5, GoldenSnapshot,
+                         ::testing::Values("dns", "mail", "google"));
+
+} // namespace
+} // namespace sleepscale

@@ -12,16 +12,27 @@
  *      power and the full-frequency active power;
  *   4. window additivity: harvested windows sum to the one-shot totals;
  *   5. determinism: identical seeds give identical accounting.
+ *
+ * The job-source half is a seeded differential fuzzer: random
+ * compositions of streaming sources (merge/scale/thin/take/diurnal
+ * over stationary/bursty/trace-driven primitives) are checked for
+ * reset() determinism, clone() fidelity after partial consumption, and
+ * streaming == materialized equality through the runtime engine.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <vector>
 
 #include "analytic/mm1_sleep.hh"
+#include "core/predictor.hh"
+#include "core/runtime.hh"
 #include "power/platform_model.hh"
 #include "sim/server_sim.hh"
 #include "util/rng.hh"
+#include "workload/job_source.hh"
 #include "workload/job_stream.hh"
 
 namespace sleepscale {
@@ -217,6 +228,166 @@ TEST_P(PlanFuzz, AnalyticMatchesSimulationForRandomPlans)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanFuzz,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// --------------------------- differential job-source composition fuzz
+
+/** A small random utilization trace for trace-driven primitives. */
+UtilizationTrace
+randomFuzzTrace(Rng &rng)
+{
+    const std::size_t minutes = 10 + rng.uniformInt(30);
+    std::vector<double> levels(minutes);
+    for (double &level : levels)
+        level = rng.uniform(0.05, 0.5);
+    return UtilizationTrace("fuzz", levels);
+}
+
+/** One random primitive source: stationary, bursty, or trace-driven. */
+std::unique_ptr<JobSource>
+randomPrimitiveSource(Rng &rng)
+{
+    const WorkloadSpec dns = dnsWorkload();
+    const std::uint64_t seed = rng.next();
+    switch (rng.uniformInt(3)) {
+      case 0:
+        return std::make_unique<StationarySource>(
+            dns, rng.uniform(0.05, 0.4), seed);
+      case 1:
+        return std::make_unique<BurstySource>(
+            dns, rng.uniform(0.05, 0.3), rng.uniform(1.5, 6.0),
+            rng.uniform(20.0, 200.0), rng.uniform(200.0, 2000.0), seed);
+      default:
+        return std::make_unique<TraceDrivenSource>(
+            dns, randomFuzzTrace(rng), seed);
+    }
+}
+
+/**
+ * A random composition: primitives wrapped in random combinators,
+ * bounded by a final take() so infinite primitives terminate.
+ */
+std::unique_ptr<JobSource>
+randomComposition(Rng &rng)
+{
+    std::unique_ptr<JobSource> source = randomPrimitiveSource(rng);
+    const std::size_t wraps = rng.uniformInt(3);
+    for (std::size_t i = 0; i < wraps; ++i) {
+        switch (rng.uniformInt(4)) {
+          case 0:
+            source = merge(std::move(source),
+                           randomPrimitiveSource(rng));
+            break;
+          case 1:
+            source = scale(std::move(source), rng.uniform(0.5, 2.0),
+                           rng.uniform(0.5, 2.0));
+            break;
+          case 2:
+            source = thin(std::move(source), rng.uniform(0.3, 1.0),
+                          rng.next());
+            break;
+          default:
+            source = diurnal(std::move(source), rng.uniform(0.0, 0.8),
+                             rng.uniform(3600.0, 86400.0));
+            break;
+        }
+    }
+    return take(std::move(source), 800 + rng.uniformInt(800));
+}
+
+void
+expectSameJobs(const std::vector<Job> &a, const std::vector<Job> &b,
+               const char *what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival, b[i].arrival) << what << " job " << i;
+        EXPECT_EQ(a[i].size, b[i].size) << what << " job " << i;
+        EXPECT_EQ(a[i].classId, b[i].classId) << what << " job " << i;
+    }
+}
+
+class SourceFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SourceFuzz, ResetIsDeterministic)
+{
+    Rng rng(GetParam() * 2654435761ULL);
+    const auto source = randomComposition(rng);
+    const std::uint64_t seed = GetParam() + 17;
+
+    source->reset(seed);
+    const auto first = materialize(*source);
+    ASSERT_FALSE(first.empty());
+    source->reset(seed);
+    const auto second = materialize(*source);
+    expectSameJobs(first, second, "reset");
+
+    // Arrival times are non-decreasing — the core source contract.
+    for (std::size_t i = 1; i < first.size(); ++i)
+        EXPECT_GE(first[i].arrival, first[i - 1].arrival) << i;
+}
+
+TEST_P(SourceFuzz, CloneContinuesMidStream)
+{
+    Rng rng(GetParam() * 2654435761ULL);
+    const auto source = randomComposition(rng);
+    source->reset(GetParam());
+
+    // Consume a random prefix, clone, and require both continuations
+    // to be identical job for job.
+    Rng consume_rng(GetParam() ^ 0xABCDEF);
+    const std::size_t consumed = consume_rng.uniformInt(400);
+    Job job;
+    for (std::size_t i = 0; i < consumed; ++i) {
+        if (!source->next(job))
+            break;
+    }
+    const auto clone = source->clone();
+    const auto rest_original = materialize(*source);
+    const auto rest_clone = materialize(*clone);
+    expectSameJobs(rest_original, rest_clone, "clone");
+}
+
+TEST_P(SourceFuzz, StreamingMatchesMaterializedThroughEngine)
+{
+    Rng rng(GetParam() * 2654435761ULL);
+    const auto streaming = randomComposition(rng);
+    streaming->reset(GetParam());
+    const auto jobs = materialize(*streaming->clone());
+
+    const PlatformModel xeon = PlatformModel::xeon();
+    const WorkloadSpec dns = dnsWorkload();
+    const UtilizationTrace trace(
+        "flat", std::vector<double>(20, 0.2));
+
+    RuntimeConfig config;
+    config.epochMinutes = 5;
+    config.fixedPolicy =
+        Policy{0.7, SleepPlan::immediate(LowPowerState::C6S0Idle)};
+    const SleepScaleRuntime runtime(xeon, dns, config);
+
+    const auto stream_predictor =
+        makePredictor("NP", 10, trace.values());
+    const RuntimeResult from_stream =
+        runtime.run(*streaming, trace, *stream_predictor);
+    const auto vector_predictor =
+        makePredictor("NP", 10, trace.values());
+    const RuntimeResult from_vector =
+        runtime.run(jobs, trace, *vector_predictor);
+
+    EXPECT_EQ(from_stream.total.arrivals, from_vector.total.arrivals);
+    EXPECT_EQ(from_stream.total.completions,
+              from_vector.total.completions);
+    EXPECT_DOUBLE_EQ(from_stream.total.energy, from_vector.total.energy);
+    EXPECT_DOUBLE_EQ(from_stream.total.busyTime,
+                     from_vector.total.busyTime);
+    EXPECT_DOUBLE_EQ(from_stream.total.response.mean(),
+                     from_vector.total.response.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SourceFuzz,
+                         ::testing::Range<std::uint64_t>(1, 17));
 
 } // namespace
 } // namespace sleepscale

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -333,6 +334,83 @@ TEST(QuantileHistogram, ResetForgets)
     hist.reset();
     EXPECT_EQ(hist.count(), 0u);
     EXPECT_DOUBLE_EQ(hist.percentile(50.0), 0.0);
+}
+
+// Boundary audit (SimStats uses floor 1e-7 / ceiling 1e5): samples
+// beyond the grid, empty queries, and non-finite inputs must never
+// silently misreport.
+
+TEST(QuantileHistogram, RejectsNonFiniteSamples)
+{
+    QuantileHistogram hist;
+    // NaN used to reach an undefined float-to-index cast; +inf would
+    // poison the exact max every boundary answer leans on.
+    EXPECT_THROW(hist.add(std::nan("")), ConfigError);
+    EXPECT_THROW(hist.add(std::numeric_limits<double>::infinity()),
+                 ConfigError);
+    EXPECT_EQ(hist.count(), 0u);
+}
+
+TEST(QuantileHistogram, EmptyHistogramQueriesAreSafe)
+{
+    const QuantileHistogram hist(1e-7, 1e5, 400);
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_DOUBLE_EQ(hist.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.percentile(100.0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.exceedance(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.exceedance(1e12), 0.0);
+    EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+}
+
+TEST(QuantileHistogram, AllSamplesBelowFloor)
+{
+    QuantileHistogram hist(1e-7, 1e5, 400);
+    hist.add(1e-9);
+    hist.add(5e-9);
+    hist.add(2e-8);
+    // The percentile never exceeds the exact max even though every
+    // sample sits in the underflow bucket (whose edge is the floor).
+    EXPECT_DOUBLE_EQ(hist.percentile(50.0), 2e-8);
+    EXPECT_DOUBLE_EQ(hist.percentile(100.0), 2e-8);
+    EXPECT_DOUBLE_EQ(hist.percentile(0.0), 1e-9);
+    // Exceedance is exact at and beyond the observed extremes.
+    EXPECT_DOUBLE_EQ(hist.exceedance(1e-9), 1.0);
+    EXPECT_DOUBLE_EQ(hist.exceedance(3e-8), 0.0);
+}
+
+TEST(QuantileHistogram, AllSamplesAboveCeiling)
+{
+    QuantileHistogram hist(1e-7, 1e5, 400);
+    hist.add(2e5);
+    hist.add(3e6);
+    EXPECT_DOUBLE_EQ(hist.percentile(100.0), 3e6);
+    EXPECT_DOUBLE_EQ(hist.percentile(0.0), 2e5);
+    // A query between the overflow samples must not count the smaller
+    // one as exceeding it just because both share the overflow bucket.
+    EXPECT_DOUBLE_EQ(hist.exceedance(1e7), 0.0);
+    EXPECT_DOUBLE_EQ(hist.exceedance(2e5), 1.0);
+}
+
+TEST(QuantileHistogram, PercentileZeroReturnsExactMin)
+{
+    QuantileHistogram hist(1e-7, 1e5, 400);
+    hist.add(3.0);
+    hist.add(7.0);
+    // Used to report the underflow bucket's upper edge (the floor).
+    EXPECT_DOUBLE_EQ(hist.percentile(0.0), 3.0);
+    EXPECT_GE(hist.percentile(100.0), 7.0 * (1.0 - 1e-9));
+    EXPECT_LE(hist.percentile(100.0), 7.0);
+}
+
+TEST(QuantileHistogram, ExactlyAtFloorAndCeilingEdges)
+{
+    QuantileHistogram hist(1e-3, 1e3, 100);
+    hist.add(1e-3); // first grid bucket, not underflow
+    hist.add(1e3);  // overflow by the ">= ceiling" convention
+    EXPECT_EQ(hist.count(), 2u);
+    EXPECT_DOUBLE_EQ(hist.percentile(100.0), 1e3);
+    EXPECT_DOUBLE_EQ(hist.exceedance(1e3), 0.5);
 }
 
 // ------------------------------------------------------------------- CSV

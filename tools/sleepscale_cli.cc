@@ -14,6 +14,7 @@
  *                     [--source trace|stationary|bursty] [--util 0.3]
  *                     [--burst-factor 4] [--burst-len 120]
  *                     [--burst-gap 1800] [--replay jobs.csv]
+ *                     [--replications N]
  *   sleepscale trace  [--kind es|fs] [--days 3] [--seed 42]
  *                     [--out trace.csv]
  *   sleepscale farm   [--servers 4] [--dispatcher packing]
@@ -28,6 +29,11 @@
  *                     [--threads 0] [--csv out.csv]
  *                     plus any base option of run/farm
  *
+ * run, farm, and grid accept --replications N (N >= 2): the scenario
+ * is replicated N times under derived seeds and every metric prints as
+ * mean ± 95% Student-t CI instead of a single-seed point estimate
+ * (docs/STATISTICS.md).
+ *
  * run, farm, and grid are thin shells over the unified experiment API:
  * they describe a ScenarioSpec (or a sweep grid of them) and hand it to
  * ExperimentRunner, which executes grids concurrently. Every component
@@ -40,6 +46,7 @@
  * seconds unless stated otherwise.
  */
 
+#include <cmath>
 #include <iostream>
 #include <sstream>
 
@@ -47,6 +54,7 @@
 #include "core/policy_manager.hh"
 #include "core/predictor.hh"
 #include "core/strategies.hh"
+#include "experiment/replication.hh"
 #include "experiment/runner.hh"
 #include "farm/dispatcher.hh"
 #include "util/cli_args.hh"
@@ -70,7 +78,7 @@ const std::set<std::string> knownOptions = {
     "sweep-servers", "sweep-alpha", "sweep-control", "help",
     "source",     "replay",     "util",       "burst-factor",
     "burst-len",  "burst-gap",  "platform",   "platforms",
-    "control",    "decision-threads",
+    "control",    "decision-threads", "replications",
 };
 
 QosMetric
@@ -143,6 +151,7 @@ scenarioFromArgs(const CliArgs &args, EngineKind engine)
         .dispatcher(args.get("dispatcher", "packing"))
         .farmControl(args.get("control", "farm-wide"))
         .decisionThreads(args.getUnsigned("decision-threads", 0))
+        .replications(args.getUnsigned("replications", 1))
         .seed(args.getUnsigned("seed", 1));
     // --platforms xeon,xeon,atom,atom names one platform per server
     // (and pins the farm size to the list length); an explicit
@@ -252,6 +261,32 @@ cmdSelect(const CliArgs &args)
     return 0;
 }
 
+/**
+ * Mean ± CI summary of a replicated run, one line per headline metric.
+ */
+void
+printReplicatedSummary(const ReplicatedResult &result)
+{
+    const int level =
+        static_cast<int>(std::lround(result.confidence * 100.0));
+    std::cout << "replications:  " << result.replications.size()
+              << "  (mean ± " << level << "% CI, seeds derived from "
+              << result.spec.seed << ")\n"
+              << "mean response: "
+              << result.metric("mean_response_s").toString() << " s\n"
+              << "p95 response:  "
+              << result.metric("p95_response_s").toString() << " s\n"
+              << "p99 response:  "
+              << result.metric("p99_response_s").toString() << " s\n"
+              << "avg power:     "
+              << result.metric("avg_power_w").toString() << " W\n"
+              << "energy:        "
+              << result.metric("energy_j").toString() << " J\n"
+              << "QoS violated:  "
+              << 100.0 * result.metric("qos_violation").mean()
+              << "% of replications\n";
+}
+
 int
 cmdRun(const CliArgs &args)
 {
@@ -259,6 +294,15 @@ cmdRun(const CliArgs &args)
         scenarioFromArgs(args, EngineKind::SingleServer);
     if (args.has("epochs-csv"))
         builder.captureEpochs();
+    if (args.getUnsigned("replications", 1) > 1) {
+        fatalIf(args.has("epochs-csv"),
+                "run: --epochs-csv needs a single run (drop "
+                "--replications)");
+        const ScenarioSpec spec = builder.build();
+        printReplicatedSummary(ExperimentRunner::runReplicated(
+            spec, args.getUnsigned("threads", 0)));
+        return 0;
+    }
     const ScenarioResult result =
         ExperimentRunner::runScenario(builder.build());
 
@@ -309,6 +353,19 @@ cmdFarm(const CliArgs &args)
 {
     const ScenarioSpec spec =
         scenarioFromArgs(args, EngineKind::Farm).build();
+    if (spec.replications > 1) {
+        const ReplicatedResult replicated =
+            ExperimentRunner::runReplicated(
+                spec, args.getUnsigned("threads", 0));
+        std::cout << "servers:       " << spec.farmSize << " ("
+                  << spec.dispatcher << ", " << spec.farmControl
+                  << " control)\n";
+        printReplicatedSummary(replicated);
+        std::cout << "\nper-server view (replication 0):\n";
+        serversTable(replicated.replications.front())
+            .print(std::cout);
+        return 0;
+    }
     const ScenarioResult result =
         ExperimentRunner::runScenario(spec);
 
@@ -385,6 +442,18 @@ cmdGrid(const CliArgs &args)
     std::cout << runner.scenarios().size()
               << " scenarios queued; running...\n\n";
 
+    if (base.replications > 1) {
+        const auto replicated = runner.runReplicated();
+        replicationTable(replicated).print(std::cout);
+        if (args.has("csv")) {
+            const std::string path = args.get("csv", "grid.csv");
+            writeReplicatedCsv(path, replicated);
+            std::cout << "\nreplicated results CSV written to " << path
+                      << '\n';
+        }
+        return 0;
+    }
+
     const auto results = runner.run();
     resultsTable(results).print(std::cout);
 
@@ -421,6 +490,10 @@ printUsage()
         "farm control modes: farm-wide (one thinned-log decision for\n"
         "all servers) | per-server (autonomous per-server decisions;\n"
         "required for heterogeneous --platforms mixes)\n"
+        "\n"
+        "run/farm/grid take --replications N to replicate under\n"
+        "derived seeds and print mean ± 95% confidence intervals\n"
+        "(docs/STATISTICS.md)\n"
         "\n"
         "run `sleepscale <command> --help` semantics are documented at\n"
         "the top of tools/sleepscale_cli.cc and in the README.\n";

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Regenerate the golden decision snapshots under tests/golden/.
+#
+#   tools/update_goldens.sh [build-dir]
+#
+# Rebuilds golden_snapshot_test (Release) and reruns it with
+# SLEEPSCALE_UPDATE_GOLDENS=1, which rewrites the committed per-epoch
+# (frequency, sleep-state) decision CSVs for the Table 5 workloads.
+# Run this ONLY after an intended behavior change, then review the git
+# diff of tests/golden/ — it shows exactly which epoch decisions moved.
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+      --target golden_snapshot_test
+SLEEPSCALE_UPDATE_GOLDENS=1 "$build_dir/golden_snapshot_test"
+
+echo "goldens regenerated under $repo_root/tests/golden/"
+echo "review 'git diff tests/golden' before committing"
