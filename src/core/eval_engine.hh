@@ -24,7 +24,13 @@
  *     decision is still identical to exhaustive search.
  *
  * An engine instance is NOT thread-safe: it owns per-call scratch state.
- * Use one engine per concurrently running controller.
+ * Use one engine per concurrently running controller. Internally the
+ * fan-out shares state without locks by construction — each lane owns
+ * one simulation arena exclusively for the whole parallelFor, and
+ * outcomes land in a candidate-indexed table that is only reduced (in
+ * index order) after the fan-out joins. docs/CONCURRENCY.md documents
+ * the discipline; the TSan CI job and tools/lint_determinism.py
+ * enforce it.
  */
 
 #ifndef SLEEPSCALE_CORE_EVAL_ENGINE_HH
@@ -154,13 +160,22 @@ class PolicyEvalEngine
      * whole policy space, built once at construction. */
     std::vector<MaterializedPlan> _materialized;
 
-    /** One reusable simulation arena per pool lane. */
+    /** One reusable simulation arena per pool lane. During a fan-out,
+     * arena `i` is touched exclusively by lane `i` (ThreadPool's lane
+     * index is stable for the whole parallelFor), so arenas need no
+     * locks — the machine-checked analogue is the pool's own
+     * GUARDED_BY discipline; the arena discipline is covered by the
+     * TSan CI job. */
     std::vector<std::unique_ptr<ServerSim>> _arenas;
 
     /** Shared fan-out pool (absent when options.threads == 1). */
     std::unique_ptr<ThreadPool> _pool;
 
-    /** Per-call outcome table, reused across selections. */
+    /** Per-call outcome table, reused across selections. Lanes write
+     * disjoint candidate-indexed slots during the fan-out; reduce()
+     * reads it only after parallelFor returns (which joins all lanes),
+     * and walks it in index order so the winner is independent of the
+     * pool width. */
     std::vector<Outcome> _outcomes;
 
     /** Per-call candidate list, reused across selections. */

@@ -248,9 +248,10 @@ ReplicationPlan::run(const ScenarioSpec &spec) const
     spec.validate();
     std::vector<ScenarioResult> replications(_replications);
 
-    // Results land by replication index, so any pool width bit-matches
-    // a sequential run: each replication derives all randomness from
-    // its own derived seed.
+    // Results land in disjoint replication-indexed slots, so any pool
+    // width bit-matches a sequential run: each replication derives all
+    // randomness from its own derived seed, and the buffer is only
+    // read after parallelFor joins every lane.
     ThreadPool pool(std::min(_threads, _replications));
     pool.parallelFor(_replications, [&](std::size_t i, std::size_t) {
         ScenarioSpec replication = spec;

@@ -25,8 +25,12 @@
  * Replication fans out on util/thread_pool with results stored by
  * replication index and reduced in index order, so — like the
  * policy-evaluation engine and ExperimentRunner — any pool width is
- * bit-identical to a sequential run. Methodology, seed-derivation and
- * Student-t assumptions are documented in docs/STATISTICS.md.
+ * bit-identical to a sequential run. Lanes write disjoint slots of the
+ * replication-indexed result buffer and never share a mutable scenario
+ * (each replication copies the spec); docs/CONCURRENCY.md documents the
+ * discipline and the TSan CI job enforces it. Methodology,
+ * seed-derivation and Student-t assumptions are documented in
+ * docs/STATISTICS.md.
  */
 
 #ifndef SLEEPSCALE_EXPERIMENT_REPLICATION_HH

@@ -3,7 +3,6 @@
 #include <cmath>
 #include <fstream>
 #include <sstream>
-#include <thread>
 
 #include "core/predictor.hh"
 #include "core/runtime.hh"
@@ -425,10 +424,8 @@ expandGrid(const ScenarioSpec &base, const std::vector<SweepAxis> &axes,
 ExperimentRunner::ExperimentRunner(std::size_t threads)
     : _threads(threads)
 {
-    if (_threads == 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        _threads = hw > 0 ? hw : 1;
-    }
+    if (_threads == 0)
+        _threads = ThreadPool::hardwareLanes();
 }
 
 ExperimentRunner &

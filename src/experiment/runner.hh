@@ -152,7 +152,11 @@ class ExperimentRunner
   public:
     /**
      * @param threads Worker-pool width for run(); 0 uses the hardware
-     *        concurrency. Results are identical for any width.
+     *        concurrency (via ThreadPool::hardwareLanes, the one
+     *        sanctioned topology probe). Results are identical for any
+     *        width: each scenario writes a scenario-indexed slot and
+     *        the report is assembled in index order after the join
+     *        (docs/CONCURRENCY.md, invariant 1).
      */
     explicit ExperimentRunner(std::size_t threads = 0);
 

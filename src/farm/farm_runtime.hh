@@ -69,7 +69,10 @@ struct FarmRuntimeConfig
     /** Fan-out width of the per-server epoch decision loop: 1 decides
      * serially, N > 1 uses an N-lane pool, 0 picks one lane per server
      * up to the hardware concurrency. Any width yields bit-identical
-     * decisions (reduction is in server-index order). */
+     * decisions: each server's decision lands in a server-indexed slot
+     * and is applied in server-index order after the fan-out joins
+     * (docs/CONCURRENCY.md, invariant 1; this suite runs under TSan in
+     * CI via the "concurrency" ctest label). */
     std::size_t decisionThreads = 0;
 
     /** Per-server policy-management knobs (epoch length, α, ρ_b, QoS

@@ -9,6 +9,15 @@
  * IS registered instead of silently misbehaving, and downstream layers
  * (the experiment API, the CLI) can enumerate the available choices
  * without hard-coding them.
+ *
+ * Concurrency contract: every registry singleton (platformRegistry(),
+ * workloadRegistry(), ...) is a function-local static whose builtin
+ * entries are added inside the initializing lambda, so construction is
+ * complete before the first reference escapes (C++ guarantees
+ * thread-safe static initialization). After that the registry is
+ * read-only: add() from concurrent phases is NOT safe — register
+ * custom components up front, before fanning experiments out. See
+ * docs/CONCURRENCY.md.
  */
 
 #ifndef SLEEPSCALE_UTIL_REGISTRY_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Clang thread-safety analysis macros.
+ *
+ * Wraps Clang's capability attributes (`-Wthread-safety`) so lock
+ * disciplines are *machine-checked* instead of living in comments that
+ * drift: a member annotated `GUARDED_BY(_mutex)` fails the build when
+ * any code path touches it without holding `_mutex`. Under any other
+ * compiler every macro expands to nothing, so annotated headers stay
+ * portable.
+ *
+ * The names follow the Clang documentation's canonical spelling
+ * (CAPABILITY, GUARDED_BY, REQUIRES, ACQUIRE, RELEASE, EXCLUDES, ...).
+ * Analysis only understands capability-annotated lock types — the
+ * libstdc++ `std::mutex` is not one — so lock-based code should use the
+ * annotated wrappers in util/mutex.hh, which are built on these macros.
+ *
+ * The build enables the analysis with -DSLEEPSCALE_THREAD_SAFETY=ON
+ * (Clang only; adds `-Wthread-safety -Werror=thread-safety`); see
+ * docs/CONCURRENCY.md for the annotation and determinism rules.
+ */
+
+#ifndef SLEEPSCALE_UTIL_THREAD_ANNOTATIONS_HH
+#define SLEEPSCALE_UTIL_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__)
+#define SLEEPSCALE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SLEEPSCALE_THREAD_ANNOTATION(x) // no-op off Clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex", "role", ...). */
+#define CAPABILITY(x) SLEEPSCALE_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define SCOPED_CAPABILITY SLEEPSCALE_THREAD_ANNOTATION(scoped_lockable)
+
+/** The annotated member may only be touched while holding `x`. */
+#define GUARDED_BY(x) SLEEPSCALE_THREAD_ANNOTATION(guarded_by(x))
+
+/** The pointee of the annotated pointer is protected by `x`. */
+#define PT_GUARDED_BY(x) SLEEPSCALE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Callers must hold the listed capabilities when calling. */
+#define REQUIRES(...) \
+    SLEEPSCALE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** The function acquires the listed capabilities (held on return). */
+#define ACQUIRE(...) \
+    SLEEPSCALE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** The function releases the listed capabilities. */
+#define RELEASE(...) \
+    SLEEPSCALE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Callers must NOT hold the listed capabilities (deadlock guard). */
+#define EXCLUDES(...) SLEEPSCALE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** The function returns a reference to the named capability. */
+#define RETURN_CAPABILITY(x) SLEEPSCALE_THREAD_ANNOTATION(lock_returned(x))
+
+/** Opt a function out of the analysis (init/teardown special cases). */
+#define NO_THREAD_SAFETY_ANALYSIS \
+    SLEEPSCALE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // SLEEPSCALE_UTIL_THREAD_ANNOTATIONS_HH

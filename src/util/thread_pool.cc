@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(std::size_t lanes)
 ThreadPool::~ThreadPool()
 {
     {
-        const std::lock_guard<std::mutex> lock(_mutex);
+        const MutexLock lock(_mutex);
         _stop = true;
     }
     _wake.notify_all();
@@ -37,7 +37,7 @@ ThreadPool::drain(Batch &batch, std::size_t lane)
         try {
             (*batch.body)(i, lane);
         } catch (...) {
-            const std::lock_guard<std::mutex> lock(batch.errorMutex);
+            const MutexLock lock(batch.errorMutex);
             if (!batch.error)
                 batch.error = std::current_exception();
         }
@@ -51,9 +51,9 @@ ThreadPool::workerLoop(std::size_t lane)
     for (;;) {
         Batch *batch = nullptr;
         {
-            std::unique_lock<std::mutex> lock(_mutex);
-            _wake.wait(lock,
-                       [&] { return _stop || _generation != seen; });
+            MutexLock lock(_mutex);
+            while (!_stop && _generation == seen)
+                _wake.wait(_mutex);
             if (_stop)
                 return;
             seen = _generation;
@@ -61,8 +61,8 @@ ThreadPool::workerLoop(std::size_t lane)
         }
         drain(*batch, lane);
         {
-            const std::lock_guard<std::mutex> lock(_mutex);
-            --batch->remaining;
+            const MutexLock lock(_mutex);
+            --_remaining;
         }
         _done.notify_all();
     }
@@ -73,32 +73,44 @@ ThreadPool::parallelFor(std::size_t count, const Body &body)
 {
     if (count == 0)
         return;
-    if (_workers.empty()) {
-        for (std::size_t i = 0; i < count; ++i)
-            body(i, 0);
-        return;
-    }
 
     Batch batch;
     batch.count = count;
     batch.body = &body;
-    {
-        const std::lock_guard<std::mutex> lock(_mutex);
-        batch.remaining = _workers.size();
-        _batch = &batch;
-        ++_generation;
+
+    // With no workers the caller drains the whole batch serially; the
+    // exception contract (record first, run every item, rethrow at the
+    // end) is identical at any lane count because both paths share
+    // drain(). The seed's serial path aborted at the first throw,
+    // silently diverging from the documented contract.
+    if (!_workers.empty()) {
+        {
+            const MutexLock lock(_mutex);
+            _remaining = _workers.size();
+            _batch = &batch;
+            ++_generation;
+        }
+        _wake.notify_all();
     }
-    _wake.notify_all();
 
     drain(batch, 0); // The caller is lane 0.
 
-    {
-        std::unique_lock<std::mutex> lock(_mutex);
-        _done.wait(lock, [&] { return batch.remaining == 0; });
+    if (!_workers.empty()) {
+        MutexLock lock(_mutex);
+        while (_remaining != 0)
+            _done.wait(_mutex);
         _batch = nullptr;
     }
-    if (batch.error)
-        std::rethrow_exception(batch.error);
+
+    // Every worker is done with the batch, but the analysis (rightly)
+    // still wants the recording lock held to read the error slot.
+    std::exception_ptr error;
+    {
+        const MutexLock lock(batch.errorMutex);
+        error = batch.error;
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 } // namespace sleepscale

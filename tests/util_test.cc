@@ -5,7 +5,6 @@
 
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -19,7 +18,6 @@
 #include "util/rng.hh"
 #include "util/sample_stats.hh"
 #include "util/table_printer.hh"
-#include "util/thread_pool.hh"
 
 namespace sleepscale {
 namespace {
@@ -481,57 +479,6 @@ TEST(TablePrinter, PrintsRows)
     printer.print(out);
     EXPECT_NE(out.str().find("3.14"), std::string::npos);
     EXPECT_NE(out.str().find("col"), std::string::npos);
-}
-
-// ----------------------------------------------------------- thread pool
-
-TEST(ThreadPool, CoversEveryIndexExactlyOnce)
-{
-    for (const std::size_t lanes : {std::size_t{1}, std::size_t{2},
-                                    std::size_t{5}}) {
-        ThreadPool pool(lanes);
-        EXPECT_EQ(pool.size(), lanes);
-        std::vector<std::atomic<int>> hits(257);
-        pool.parallelFor(hits.size(),
-                         [&](std::size_t i, std::size_t lane) {
-                             ASSERT_LT(lane, pool.size());
-                             ++hits[i];
-                         });
-        for (const auto &hit : hits)
-            EXPECT_EQ(hit.load(), 1);
-    }
-}
-
-TEST(ThreadPool, ReusableAcrossLoops)
-{
-    ThreadPool pool(3);
-    for (int round = 0; round < 20; ++round) {
-        std::atomic<std::size_t> sum{0};
-        pool.parallelFor(100, [&](std::size_t i, std::size_t) {
-            sum += i;
-        });
-        EXPECT_EQ(sum.load(), 4950u);
-    }
-    pool.parallelFor(0, [&](std::size_t, std::size_t) { FAIL(); });
-}
-
-TEST(ThreadPool, PropagatesFirstException)
-{
-    ThreadPool pool(4);
-    std::atomic<int> executed{0};
-    EXPECT_THROW(
-        pool.parallelFor(64,
-                         [&](std::size_t i, std::size_t) {
-                             ++executed;
-                             if (i == 10)
-                                 fatal("boom");
-                         }),
-        ConfigError);
-    // Remaining items still ran; the pool stays usable afterwards.
-    EXPECT_EQ(executed.load(), 64);
-    std::atomic<int> after{0};
-    pool.parallelFor(8, [&](std::size_t, std::size_t) { ++after; });
-    EXPECT_EQ(after.load(), 8);
 }
 
 } // namespace

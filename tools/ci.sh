@@ -3,12 +3,17 @@
 #
 #   tools/ci.sh [build-dir]
 #
-# Configures a Release build with warnings-as-on (-Wall -Wextra are baked
-# into CMakeLists.txt), builds everything (library, tests, benches,
-# examples), runs the full ctest suite, and — when Google Benchmark was
-# found — smoke-runs the policy-evaluation micro-bench suite so a perf
-# regression that breaks the bench binary (or tanks it outright) fails CI
-# rather than lingering until someone profiles.
+# Configures a Release build with warnings-as-on (-Wall -Wextra -Wshadow
+# are baked into CMakeLists.txt), builds everything (library, tests,
+# benches, examples), runs the full ctest suite, and — when Google
+# Benchmark was found — smoke-runs the policy-evaluation micro-bench
+# suite so a perf regression that breaks the bench binary (or tanks it
+# outright) fails CI rather than lingering until someone profiles.
+# Then the static/dynamic analysis gates: the determinism lint, the
+# format conformance check, the doc lint, an ASan/UBSan pass over the
+# fast test labels, a TSan pass over the "concurrency" label, and —
+# when clang is installed — the thread-safety-annotation build and
+# clang-tidy (both always enforced in CI with a pinned clang).
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -29,6 +34,15 @@ if [ -x "$bench" ]; then
 else
     echo "bench smoke skipped: $bench not built (no Google Benchmark)"
 fi
+
+# Determinism lint: no wall clocks, ambient entropy, machine topology,
+# or hash-iteration-order reductions in src/ (rules and rationale:
+# docs/CONCURRENCY.md; exemptions: tools/determinism_allowlist.txt).
+python3 "$repo_root/tools/lint_determinism.py"
+
+# Format gate over the conformance list (skips politely when
+# clang-format is absent; CI pins clang-format-18).
+sh "$repo_root/tools/check_format.sh"
 
 # Docs check: the public farm/experiment headers must document every
 # public declaration. tools/doc_lint.py enforces the coverage rules
@@ -52,9 +66,50 @@ fi
 san_dir="$build_dir-asan"
 cmake -B "$san_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Debug \
       -DSLEEPSCALE_BUILD_BENCHES=OFF -DSLEEPSCALE_BUILD_EXAMPLES=OFF \
-      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+      -DSLEEPSCALE_SANITIZE=address,undefined
 cmake --build "$san_dir" -j "$(nproc 2>/dev/null || echo 4)"
 ctest --test-dir "$san_dir" --output-on-failure -j \
       "$(nproc 2>/dev/null || echo 4)" \
       -L "unit|integration"
 echo "sanitizer pass OK: $san_dir"
+
+# Race-detection pass: TSan over exactly the suites that exercise
+# cross-thread state (ctest label "concurrency": thread pool, parallel
+# candidate search, replication fan-out, per-server farm decisions).
+# Only those test targets are built, so this adds one library build,
+# not a third full tree.
+tsan_dir="$build_dir-tsan"
+cmake -B "$tsan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Debug \
+      -DSLEEPSCALE_BUILD_BENCHES=OFF -DSLEEPSCALE_BUILD_EXAMPLES=OFF \
+      -DSLEEPSCALE_SANITIZE=thread
+cmake --build "$tsan_dir" -j "$(nproc 2>/dev/null || echo 4)" --target \
+      thread_pool_test eval_engine_test experiment_test \
+      farm_per_server_test
+ctest --test-dir "$tsan_dir" --output-on-failure -j \
+      "$(nproc 2>/dev/null || echo 4)" \
+      -L concurrency
+echo "TSan pass OK: $tsan_dir"
+
+# Thread-safety analysis: the GUARDED_BY/ACQUIRE/RELEASE annotations
+# become -Werror under Clang. Library-only build — the annotated state
+# all lives in src/ — skipped politely on gcc-only boxes (the tsan CI
+# job enforces it with a pinned clang).
+if command -v clang++ >/dev/null 2>&1; then
+    tsa_dir="$build_dir-thread-safety"
+    cmake -B "$tsa_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Debug \
+          -DCMAKE_CXX_COMPILER=clang++ -DSLEEPSCALE_THREAD_SAFETY=ON \
+          -DSLEEPSCALE_BUILD_TESTS=OFF -DSLEEPSCALE_BUILD_BENCHES=OFF \
+          -DSLEEPSCALE_BUILD_EXAMPLES=OFF
+    cmake --build "$tsa_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+          --target sleepscale
+    echo "thread-safety analysis OK: $tsa_dir"
+else
+    echo "clang++ not installed; thread-safety analysis left to CI"
+fi
+
+# clang-tidy (curated profile in .clang-tidy), incremental driver.
+if command -v clang-tidy >/dev/null 2>&1; then
+    BUILD_DIR="$build_dir" sh "$repo_root/tools/run_clang_tidy.sh"
+else
+    echo "clang-tidy not installed; tidy gate left to CI"
+fi
