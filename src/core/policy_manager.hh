@@ -71,6 +71,34 @@ class PolicyManager
      */
     PolicyDecision selectAnalytic(double lambda, double mu) const;
 
+    /** Outcome of a degraded-mode-aware selection (docs/FAULTS.md). */
+    struct GuardedDecision
+    {
+        /** The selection, or the fallback dressed as one. */
+        PolicyDecision decision;
+
+        /** The manager fell back to the safe fixed policy. */
+        bool degraded = false;
+    };
+
+    /**
+     * Degraded-mode selection contract (docs/FAULTS.md): search the log
+     * as selectFromLog() does, but instead of searching garbage, fall
+     * back to the caller's safe fixed policy when the log is starved
+     * (fewer than two jobs — e.g. the server spent the epoch down) or
+     * when no candidate meets the QoS budget (the search exceeded what
+     * the budget allows). The fallback is reported as degraded and not
+     * feasible, so callers can surface it per epoch.
+     *
+     * Same thread-safety contract as selectFromLog(): one manager per
+     * concurrent controller.
+     *
+     * @param log Arrival-ordered jobs (may be thin or empty).
+     * @param fallback Safe fixed policy used when degraded.
+     */
+    GuardedDecision selectFromLogGuarded(const std::vector<Job> &log,
+                                         const Policy &fallback) const;
+
     /** The QoS constraint in force. */
     const QosConstraint &qos() const { return _engine->qos(); }
 

@@ -291,8 +291,9 @@ epochsToCsv(const RuntimeResult &result)
     CsvTable table;
     table.headers = {"epoch",     "start_s",    "predicted_util",
                      "measured_util", "frequency", "state_depth",
-                     "boosted",   "feasible",   "mean_response_s",
-                     "p95_response_s", "avg_power_w", "completions"};
+                     "boosted",   "feasible",   "degraded",
+                     "mean_response_s", "p95_response_s",
+                     "avg_power_w", "completions"};
     for (const EpochReport &epoch : result.epochs) {
         table.addRow({static_cast<double>(epoch.index), epoch.startTime,
                       epoch.predictedUtilization,
@@ -301,6 +302,7 @@ epochsToCsv(const RuntimeResult &result)
                           depthIndex(epoch.policy.plan.deepest())),
                       epoch.boosted ? 1.0 : 0.0,
                       epoch.feasible ? 1.0 : 0.0,
+                      epoch.degraded ? 1.0 : 0.0,
                       epoch.stats.meanResponse(),
                       epoch.stats.responsePercentile(95.0),
                       epoch.stats.avgPower(),

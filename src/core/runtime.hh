@@ -94,6 +94,9 @@ struct EpochReport
     bool feasible = false;          ///< Manager found a QoS-feasible policy.
     bool boosted = false;           ///< Over-provisioning raised f.
     bool decided = false;           ///< False if the log was too thin.
+    /** The controller fell back to the safe fixed policy this epoch
+     * (fault-injected farms only; see docs/FAULTS.md). */
+    bool degraded = false;
     SimStats stats;                 ///< Epoch-windowed metrics.
 };
 

@@ -150,6 +150,16 @@ runFarm(const ScenarioSpec &spec)
     // Decorrelated from the job-generation stream, which uses the raw
     // seed: identical seeds would put both generators in lock-step.
     config.dispatchSeed = mixSeed(spec.seed);
+    config.faults = spec.faults;
+    config.mtbf = spec.mtbf;
+    config.mttr = spec.mttr;
+    config.retryBackoff = spec.retryBackoff;
+    config.dropTimeout = spec.dropTimeout;
+    // A third decorrelated stream: the fault schedule must not move
+    // when job or dispatch randomness does (and replication seeds flow
+    // through spec.seed, so paired fault/no-fault comparisons share
+    // schedules per replication).
+    config.faultSeed = mixSeed(config.dispatchSeed);
     config.perServer = strategyConfigByName(spec.strategy, knobsOf(spec));
     const FarmRuntime runtime(platform, workload, config);
 
@@ -180,6 +190,19 @@ runFarm(const ScenarioSpec &spec)
     result.extras.emplace_back(
         "per_server_w",
         run.avgPower() / static_cast<double>(spec.farmSize));
+    // Availability-plane metrics, emitted unconditionally (zeros and
+    // all) so fault and no-fault result rows share one schema and
+    // replication can compute per-metric CIs and paired deltas.
+    result.extras.emplace_back("availability",
+                               run.faults.availability(spec.farmSize));
+    result.extras.emplace_back("goodput", run.faults.goodput());
+    result.extras.emplace_back(
+        "dropped_jobs", static_cast<double>(run.faults.dropped));
+    result.extras.emplace_back(
+        "retries", static_cast<double>(run.faults.retries));
+    result.extras.emplace_back("degraded_s",
+                               run.faults.degradedSeconds);
+    result.extras.emplace_back("down_s", run.faults.downSeconds);
     addResidencyExtras(result, run.total);
     result.jobsPerServer = run.jobsPerServer;
     result.servers.reserve(run.servers.size());

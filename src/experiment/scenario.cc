@@ -5,6 +5,7 @@
 #include "core/predictor.hh"
 #include "core/strategies.hh"
 #include "farm/dispatcher.hh"
+#include "fault/fault_source.hh"
 #include "power/platform_model.hh"
 #include "util/error.hh"
 #include "workload/job_source.hh"
@@ -124,6 +125,22 @@ ScenarioSpec::validate() const
                 "ScenarioSpec '" + label +
                     "': a heterogeneous farmPlatforms mix needs "
                     "farmControl(\"per-server\")");
+        faultSourceRegistry().get(faults);
+        if (faults != "none") {
+            fatalIf(mtbf <= 0.0 || mttr <= 0.0,
+                    "ScenarioSpec '" + label +
+                        "': mtbf and mttr must be positive seconds");
+            fatalIf(retryBackoff <= 0.0,
+                    "ScenarioSpec '" + label +
+                        "': retryBackoff must be positive seconds");
+            fatalIf(dropTimeout <= 0.0,
+                    "ScenarioSpec '" + label +
+                        "': dropTimeout must be positive seconds");
+        }
+    } else {
+        fatalIf(faults != "none",
+                "ScenarioSpec '" + label +
+                    "': fault injection needs the farm engine");
     }
 }
 
@@ -351,6 +368,35 @@ ScenarioBuilder &
 ScenarioBuilder::decisionThreads(std::size_t threads)
 {
     _spec.decisionThreads = threads;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::faults(const std::string &name)
+{
+    _spec.faults = name;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::faultRates(double mtbf_s, double mttr_s)
+{
+    _spec.mtbf = mtbf_s;
+    _spec.mttr = mttr_s;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::retryBackoff(double seconds)
+{
+    _spec.retryBackoff = seconds;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::dropTimeout(double seconds)
+{
+    _spec.dropTimeout = seconds;
     return *this;
 }
 

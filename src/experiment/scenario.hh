@@ -116,6 +116,14 @@ struct ScenarioSpec
     std::vector<std::string> farmPlatforms;
     std::size_t decisionThreads = 0;    ///< Per-server decision fan-out.
 
+    // Fault injection (farm engine only; docs/FAULTS.md). "none"
+    // reproduces the fault-free farm bit-for-bit.
+    std::string faults = "none";        ///< Fault-source registry name.
+    double mtbf = 4.0 * 3600.0;         ///< Mean time between failures, s.
+    double mttr = 300.0;                ///< Mean time to repair, s.
+    double retryBackoff = 1.0;          ///< Failover backoff base, s.
+    double dropTimeout = 300.0;         ///< Failover drop deadline, s.
+
     // Multicore engine (fixed package policy over a stationary load).
     std::size_t cores = 4;              ///< Cores in the package.
     double frequency = 1.0;             ///< Shared DVFS factor.
@@ -224,6 +232,16 @@ class ScenarioBuilder
     ScenarioBuilder &farmPlatforms(std::vector<std::string> names);
     /** Per-server epoch-decision fan-out width (0 = auto). */
     ScenarioBuilder &decisionThreads(std::size_t threads);
+
+    /** Fault source by registry name ("none", "mtbf", "correlated",
+     * "scripted"); see docs/FAULTS.md. */
+    ScenarioBuilder &faults(const std::string &name);
+    /** Mean time between failures / to repair per server, seconds. */
+    ScenarioBuilder &faultRates(double mtbf_s, double mttr_s);
+    /** Failover retry backoff base, seconds (doubles per attempt). */
+    ScenarioBuilder &retryBackoff(double seconds);
+    /** Failover drop deadline past the original arrival, seconds. */
+    ScenarioBuilder &dropTimeout(double seconds);
 
     /** Cores in the multicore package. */
     ScenarioBuilder &cores(std::size_t count);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <functional>
 
 #include "core/policy_manager.hh"
 #include "util/error.hh"
@@ -12,6 +14,201 @@ namespace sleepscale {
 namespace {
 
 constexpr double secondsPerMinute = 60.0;
+
+/** Build the fault-source configuration a runtime config describes. */
+FaultSourceConfig
+faultConfigOf(const FarmRuntimeConfig &config)
+{
+    FaultSourceConfig fault;
+    fault.farmSize = config.farmSize;
+    fault.mtbf = config.mtbf;
+    fault.mttr = config.mttr;
+    fault.correlatedGroup = config.correlatedGroup;
+    fault.script = config.faultScript;
+    fault.seed = config.faultSeed;
+    return fault;
+}
+
+/**
+ * Drives one run's availability plane: applies crash/recovery events
+ * to the farm in time order, and owns the failover retry queue — jobs
+ * that found every server down, waiting out a capped exponential
+ * backoff in sim time until a retry succeeds or the drop timeout
+ * expires. Inactive ("none") drivers reduce to the plain offerJob()
+ * path, so fault-free runs reproduce the pre-fault farm bit-for-bit.
+ */
+class FaultDriver
+{
+  public:
+    FaultDriver(ServerFarm &farm, const FarmRuntimeConfig &config)
+        : _farm(farm), _active(config.faults != "none"),
+          _backoff(config.retryBackoff),
+          _backoffCap(std::max(config.retryBackoffCap,
+                               config.retryBackoff)),
+          _dropTimeout(config.dropTimeout)
+    {
+        if (_active) {
+            _source = makeFaultSource(config.faults,
+                                      faultConfigOf(config));
+            _hasEvent = _source->next(_event);
+        }
+    }
+
+    /** Whether a fault schedule is driving this run. */
+    bool active() const { return _active; }
+
+    /** Called with (job, server) for every admission that happens
+     * inside the retry queue, so run loops can keep their decision
+     * logs complete. */
+    void setAdmitHook(std::function<void(const Job &, std::size_t)> hook)
+    {
+        _onAdmit = std::move(hook);
+    }
+
+    /**
+     * Apply fault events and due retries up to time t, interleaved in
+     * time order (events win ties so a recovery at t can admit a retry
+     * due at t).
+     */
+    void catchUp(double t)
+    {
+        if (!_active)
+            return;
+        for (;;) {
+            const bool event_due = _hasEvent && _event.time <= t;
+            const bool retry_due =
+                !_queue.empty() && _queue.front().due <= t;
+            if (event_due &&
+                (!retry_due || _event.time <= _queue.front().due)) {
+                applyEvent();
+            } else if (retry_due) {
+                retryFront();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /**
+     * Offer a fresh arrival (catchUp(job.arrival) must have run).
+     * When every server is down the job enters the retry queue.
+     *
+     * @return Admitting server index, or ServerFarm::noServer.
+     */
+    std::size_t offer(const Job &job)
+    {
+        ++_stats.offered;
+        const std::size_t pick = _farm.tryOfferJob(job);
+        if (pick != ServerFarm::noServer) {
+            ++_stats.admitted;
+            return pick;
+        }
+        schedule(job, job.arrival, job.arrival + _dropTimeout);
+        return ServerFarm::noServer;
+    }
+
+    /**
+     * After the arrival stream ends: keep interleaving events and
+     * retries until the queue empties (every entry is eventually
+     * admitted or dropped — backoff delays are strictly positive).
+     */
+    void drain()
+    {
+        while (_active && !_queue.empty())
+            catchUp(_queue.front().due);
+    }
+
+    /** Offered/admitted/dropped/retry counters so far. */
+    const FarmFaultStats &stats() const { return _stats; }
+
+    /** Jobs currently waiting in the retry queue. */
+    std::size_t queued() const { return _queue.size(); }
+
+  private:
+    /** One parked job: when to retry it and when to give up. */
+    struct RetryEntry
+    {
+        Job job;
+        double due = 0.0;      ///< Next dispatch attempt, sim time.
+        double deadline = 0.0; ///< Original arrival + drop timeout.
+        unsigned attempts = 0; ///< Failed dispatch attempts so far.
+    };
+
+    void applyEvent()
+    {
+        fatalIf(_event.server >= _farm.size(),
+                "FaultDriver: fault event names server " +
+                    std::to_string(_event.server) + " in a farm of " +
+                    std::to_string(_farm.size()));
+        if (_event.down)
+            _farm.failServer(_event.server, _event.time);
+        else
+            _farm.restoreServer(_event.server, _event.time);
+        _hasEvent = _source->next(_event);
+    }
+
+    void retryFront()
+    {
+        RetryEntry entry = _queue.front();
+        _queue.pop_front();
+        ++_stats.retries;
+        entry.job.arrival = entry.due;
+        const std::size_t pick = _farm.tryOfferJob(entry.job);
+        if (pick != ServerFarm::noServer) {
+            ++_stats.admitted;
+            if (_onAdmit)
+                _onAdmit(entry.job, pick);
+            return;
+        }
+        ++entry.attempts;
+        scheduleEntry(std::move(entry));
+    }
+
+    void schedule(const Job &job, double now, double deadline)
+    {
+        RetryEntry entry;
+        entry.job = job;
+        entry.due = now;
+        entry.deadline = deadline;
+        entry.attempts = 1;
+        scheduleEntry(std::move(entry));
+    }
+
+    void scheduleEntry(RetryEntry entry)
+    {
+        // Capped exponential backoff in sim time: attempt k waits
+        // backoff * 2^(k-1), no further than the cap.
+        const double exponent =
+            std::min<double>(entry.attempts - 1, 30.0);
+        const double delay =
+            std::min(_backoff * std::pow(2.0, exponent), _backoffCap);
+        entry.due += delay;
+        if (entry.due > entry.deadline) {
+            ++_stats.dropped; // Recorded SLO loss.
+            return;
+        }
+        // Keep the queue sorted by due time (stable for ties), so
+        // retries replay in deterministic order.
+        auto at = std::upper_bound(_queue.begin(), _queue.end(),
+                                   entry.due,
+                                   [](double due, const RetryEntry &e) {
+                                       return due < e.due;
+                                   });
+        _queue.insert(at, std::move(entry));
+    }
+
+    ServerFarm &_farm;
+    bool _active;
+    double _backoff;
+    double _backoffCap;
+    double _dropTimeout;
+    std::unique_ptr<FaultSource> _source;
+    FaultEvent _event;
+    bool _hasEvent = false;
+    std::deque<RetryEntry> _queue;
+    FarmFaultStats _stats;
+    std::function<void(const Job &, std::size_t)> _onAdmit;
+};
 
 /**
  * Rebuild a logged job history as an evaluation log whose offered load
@@ -87,6 +284,25 @@ applyOverProvision(Policy &policy, double alpha, bool last_within)
 
 } // namespace
 
+double
+FarmFaultStats::availability(std::size_t farm_size) const
+{
+    const double server_seconds =
+        elapsedSeconds * static_cast<double>(farm_size);
+    if (server_seconds <= 0.0)
+        return 1.0;
+    return std::clamp(1.0 - downSeconds / server_seconds, 0.0, 1.0);
+}
+
+double
+FarmFaultStats::goodput() const
+{
+    if (offered == 0)
+        return 1.0;
+    return static_cast<double>(completed) /
+           static_cast<double>(offered);
+}
+
 std::unique_ptr<JobSource>
 makeFarmSource(const WorkloadSpec &spec, const UtilizationTrace &trace,
                std::size_t farm_size, std::uint64_t seed)
@@ -135,6 +351,29 @@ FarmRuntime::FarmRuntime(const PlatformModel &platform,
     // run()) surfaces the mistake while the configuration site is still
     // on the stack.
     dispatcherRegistry().get(_config.dispatcher);
+
+    // Fault plane: building a throwaway source validates the name (the
+    // registry lists alternatives), the MTBF/MTTR ranges, and every
+    // scripted event. "none" skips it all, so fault-free configs never
+    // pay for — or trip over — fault validation.
+    if (_config.faults != "none") {
+        makeFaultSource(_config.faults, faultConfigOf(_config));
+        fatalIf(!(_config.retryBackoff > 0.0) ||
+                    !std::isfinite(_config.retryBackoff),
+                "FarmRuntime: retryBackoff must be positive and "
+                "finite seconds");
+        fatalIf(!(_config.retryBackoffCap > 0.0) ||
+                    !std::isfinite(_config.retryBackoffCap),
+                "FarmRuntime: retryBackoffCap must be positive and "
+                "finite seconds");
+        fatalIf(!(_config.dropTimeout > 0.0) ||
+                    !std::isfinite(_config.dropTimeout),
+                "FarmRuntime: dropTimeout must be positive and finite "
+                "seconds");
+        fatalIf(_config.recoverySeconds < 0.0 ||
+                    !std::isfinite(_config.recoverySeconds),
+                "FarmRuntime: recoverySeconds must be finite and >= 0");
+    }
 
     // Resolve the per-server platform mix. The resolved vector is sized
     // here once and never mutated again: the per-server managers hold
@@ -248,6 +487,9 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
         result.servers[i].platform = _serverPlatforms[i]->name();
     }
 
+    farm.setRecoverySeconds(_config.recoverySeconds);
+    FaultDriver faults(farm, _config);
+
     // One-job lookahead; the only job buffer kept across the run is
     // the thinned decision log below, capped at evalLogCap.
     Job pending;
@@ -256,17 +498,51 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
     bool last_epoch_within_budget = false;
     Policy current = _config.perServer.initialPolicy;
 
+    // Degraded-mode accounting (server-epochs / server-seconds; one
+    // farm-wide fallback decision degrades every server). `logged`
+    // counts appends to the rolling history so starvation detection
+    // can tell "no new jobs this epoch" apart from a trimmed log.
+    std::uint64_t cum_completed = 0;
+    std::uint64_t degraded_epochs = 0;
+    double degraded_seconds = 0.0;
+    double down0_mark = 0.0;
+    std::uint64_t logged = 0;
+    std::uint64_t logged_mark = 0;
+
+    // Jobs re-admitted by the failover queue join the decision log
+    // exactly as first-try admissions do (at their re-dispatch time,
+    // which is their arrival from the admitting server's view).
+    faults.setAdmitHook([&](const Job &job, std::size_t server) {
+        if (!_config.perServer.fixedPolicy && server == 0) {
+            history.push_back(job);
+            ++logged;
+        }
+    });
+
     EpochReport epoch;
     epoch.policy = current;
 
     // Close the current epoch: attribute per-server windows, merge the
-    // farm view, and remember whether the farm met its budget.
-    auto closeEpoch = [&](const std::vector<SimStats> &windows) {
+    // farm view, remember whether the farm met its budget, and
+    // snapshot the cumulative availability-plane counters.
+    auto closeEpoch = [&](const std::vector<SimStats> &windows,
+                          double now) {
         for (std::size_t i = 0; i < windows.size(); ++i)
             result.servers[i].total.merge(windows[i]);
         epoch.stats = ServerFarm::mergeWindows(windows);
         last_epoch_within_budget = windowWithinBudget(_qos, epoch.stats);
         result.epochs.push_back(epoch);
+
+        cum_completed += epoch.stats.completions;
+        FarmFaultStats snap = faults.stats();
+        snap.completed = cum_completed;
+        snap.inFlight =
+            snap.admitted - snap.completed + faults.queued();
+        snap.downSeconds = farm.totalDownSeconds();
+        snap.degradedSeconds = degraded_seconds;
+        snap.degradedEpochs = degraded_epochs;
+        snap.elapsedSeconds = now;
+        result.epochFaults.push_back(snap);
     };
 
     for (std::size_t minute = 0; minute < minutes; ++minute) {
@@ -276,7 +552,7 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
             farm.advanceTo(t);
 
             if (minute > 0)
-                closeEpoch(farm.harvestWindows());
+                closeEpoch(farm.harvestWindows(), t);
 
             epoch = EpochReport{};
             epoch.index = result.epochs.size();
@@ -286,10 +562,59 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
                 std::clamp(predictor.predict(minute), 0.0, 1.0);
             epoch.predictedUtilization = predicted;
 
+            // Did the logged server (server 0) lose time to an outage
+            // since the last decision *and* log no new jobs? Such an
+            // epoch log is fault-starved — the rolling history only
+            // holds pre-outage jobs — and searching it would dress
+            // stale data as a fresh decision, so it triggers the
+            // degraded fallback instead. A log that is merely still
+            // warming up (no downtime accrued) keeps the status-quo
+            // policy, exactly as a fault-free run would.
+            bool outage_starved = false;
+            if (faults.active()) {
+                const double down0 = farm.downSeconds(0);
+                outage_starved =
+                    down0 > down0_mark && logged == logged_mark;
+                down0_mark = down0;
+                logged_mark = logged;
+            }
+
             if (_config.perServer.fixedPolicy) {
                 current = *_config.perServer.fixedPolicy;
                 epoch.decided = true;
                 epoch.feasible = true;
+            } else if (faults.active()) {
+                // Guarded decision path (docs/FAULTS.md): search the
+                // rescaled log as usual, but fall back to the safe
+                // fixed policy when the log was starved by an outage
+                // or no candidate fits the QoS budget. One farm-wide
+                // fallback degrades every server for the epoch.
+                const std::vector<Job> log =
+                    outage_starved
+                        ? std::vector<Job>()
+                        : rescaleHistoryToPrediction(history,
+                                                     predicted);
+                if (!log.empty() || outage_starved) {
+                    const PolicyManager::GuardedDecision guarded =
+                        _manager->selectFromLogGuarded(
+                            log, _config.degradedPolicy);
+                    current = guarded.decision.policy;
+                    epoch.feasible = guarded.decision.feasible;
+                    epoch.decided = true;
+                    epoch.degraded = guarded.degraded;
+                    if (guarded.degraded) {
+                        degraded_epochs += _config.farmSize;
+                        degraded_seconds += static_cast<double>(
+                                                epoch_len) *
+                                            secondsPerMinute *
+                                            farm_size;
+                    } else {
+                        epoch.boosted = applyOverProvision(
+                            current, _config.perServer.overProvision,
+                            last_epoch_within_budget);
+                    }
+                }
+                trimHistory(history, _config.perServer.evalLogCap);
             } else if (history.size() >= 2) {
                 // Rescale the thinned log to the predicted per-server
                 // load (shape-preserving gap scaling, as in the
@@ -318,7 +643,8 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
         const double minute_end = t + secondsPerMinute;
         double minute_demand = 0.0;
         while (has_pending && pending.arrival < minute_end) {
-            const std::size_t routed = farm.offerJob(pending);
+            faults.catchUp(pending.arrival);
+            const std::size_t routed = faults.offer(pending);
             minute_demand += pending.size;
             // Thin the aggregate stream down to one server's view by
             // logging exactly the jobs the dispatcher routed to server
@@ -329,10 +655,13 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
             // every server. Fixed-policy runs never decide, so they
             // keep no log at all — the stream passes through in O(1)
             // job memory.
-            if (!_config.perServer.fixedPolicy && routed == 0)
+            if (!_config.perServer.fixedPolicy && routed == 0) {
                 history.push_back(pending);
+                ++logged;
+            }
             has_pending = source.next(pending);
         }
+        faults.catchUp(minute_end);
         farm.advanceTo(minute_end);
 
         const double observed = std::clamp(
@@ -340,13 +669,18 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
         predictor.observe(minute, observed);
     }
 
+    // Let the failover queue play out (each entry is admitted or
+    // dropped), then run every admitted job to completion.
+    faults.drain();
     const double horizon =
         std::max(trace.duration(), farm.nextFreeTime());
+    faults.catchUp(horizon);
     farm.advanceTo(horizon);
-    closeEpoch(farm.harvestWindows());
+    closeEpoch(farm.harvestWindows(), horizon);
 
     for (const EpochReport &report : result.epochs)
         result.total.merge(report.stats);
+    result.faults = result.epochFaults.back();
     result.jobsPerServer = farm.jobsPerServer();
     for (std::size_t i = 0; i < _config.farmSize; ++i) {
         result.servers[i].jobsRouted = result.jobsPerServer[i];
@@ -386,6 +720,9 @@ FarmRuntime::runPerServer(JobSource &source,
         result.servers[i].platform = _serverPlatforms[i]->name();
     }
 
+    farm.setRecoverySeconds(_config.recoverySeconds);
+    FaultDriver faults(farm, _config);
+
     // Per-server rolling logs of the jobs the dispatcher actually
     // routed to each back-end — the local view each autonomous
     // controller characterizes. Fixed-policy runs keep none.
@@ -397,10 +734,34 @@ FarmRuntime::runPerServer(JobSource &source,
     for (std::size_t i = 0; i < size; ++i)
         server_epoch[i].policy = current[i];
 
+    // Per-server log-append counters (starvation detection must tell
+    // "no new jobs this epoch" apart from a trimmed rolling history).
+    std::vector<std::uint64_t> logged(size, 0);
+    std::vector<std::uint64_t> logged_mark(size, 0);
+
+    // Failover re-admissions join the admitting server's local log at
+    // their re-dispatch time, like any other routed job.
+    faults.setAdmitHook([&](const Job &job, std::size_t server) {
+        if (!fixed) {
+            history[server].push_back(job);
+            ++logged[server];
+        }
+    });
+
     // Scratch for the parallel decision fan-out, indexed by server so
     // the reduction below is deterministic for any pool width.
     std::vector<PolicyDecision> decisions(size);
     std::vector<char> decided(size, 0);
+    std::vector<PolicyManager::GuardedDecision> guarded(size);
+
+    // Per-server degraded-mode accounting: a log starved by the
+    // server's own outage (downtime accrued since its last decision)
+    // degrades that server alone.
+    std::vector<double> down_mark(size, 0.0);
+    std::vector<char> outage_starved(size, 0);
+    std::uint64_t cum_completed = 0;
+    std::uint64_t degraded_epochs = 0;
+    double degraded_seconds = 0.0;
 
     // The decision pool lives for one run, not the runtime's lifetime:
     // idle FarmRuntimes (e.g. queued behind an ExperimentRunner sweep)
@@ -419,8 +780,10 @@ FarmRuntime::runPerServer(JobSource &source,
     bool has_pending = source.next(pending);
 
     // Close the epoch on every server: attribute per-server windows,
-    // push per-server reports, and merge the farm-level view.
-    auto closeEpoch = [&](const std::vector<SimStats> &windows) {
+    // push per-server reports, merge the farm-level view, and snapshot
+    // the cumulative availability-plane counters.
+    auto closeEpoch = [&](const std::vector<SimStats> &windows,
+                          double now) {
         for (std::size_t i = 0; i < size; ++i) {
             server_epoch[i].stats = windows[i];
             last_within[i] = windowWithinBudget(_qos, windows[i]);
@@ -429,7 +792,21 @@ FarmRuntime::runPerServer(JobSource &source,
         }
         EpochReport merged = server_epoch.front();
         merged.stats = ServerFarm::mergeWindows(windows);
+        for (std::size_t i = 0; i < size; ++i)
+            merged.degraded = merged.degraded ||
+                              server_epoch[i].degraded;
         result.epochs.push_back(merged);
+
+        cum_completed += merged.stats.completions;
+        FarmFaultStats snap = faults.stats();
+        snap.completed = cum_completed;
+        snap.inFlight =
+            snap.admitted - snap.completed + faults.queued();
+        snap.downSeconds = farm.totalDownSeconds();
+        snap.degradedSeconds = degraded_seconds;
+        snap.degradedEpochs = degraded_epochs;
+        snap.elapsedSeconds = now;
+        result.epochFaults.push_back(snap);
     };
 
     for (std::size_t minute = 0; minute < minutes; ++minute) {
@@ -439,11 +816,30 @@ FarmRuntime::runPerServer(JobSource &source,
             farm.advanceTo(t);
 
             if (minute > 0)
-                closeEpoch(farm.harvestWindows());
+                closeEpoch(farm.harvestWindows(), t);
 
             const std::size_t epoch_index = result.epochs.size();
             const double predicted =
                 std::clamp(predictor.predict(minute), 0.0, 1.0);
+
+            // Per-server outage starvation: downtime accrued since
+            // this server's previous decision with no new jobs logged
+            // arms its degraded fallback — the rolling history then
+            // only holds pre-outage jobs, which must not be dressed
+            // up as a fresh decision (a merely-warming-up log, with
+            // no downtime, does not degrade).
+            if (faults.active()) {
+                for (std::size_t i = 0; i < size; ++i) {
+                    const double down = farm.downSeconds(i);
+                    outage_starved[i] = down > down_mark[i] &&
+                                                logged[i] ==
+                                                    logged_mark[i]
+                                            ? 1
+                                            : 0;
+                    down_mark[i] = down;
+                    logged_mark[i] = logged[i];
+                }
+            }
 
             if (fixed) {
                 for (std::size_t i = 0; i < size; ++i)
@@ -454,12 +850,28 @@ FarmRuntime::runPerServer(JobSource &source,
                 // manager (one eval engine per server), results land by
                 // server index, and the reduction below runs in index
                 // order — so any pool width is bit-identical to serial.
+                const bool faults_active = faults.active();
                 std::fill(decided.begin(), decided.end(), 0);
                 decision_pool->parallelFor(
                     size, [&](std::size_t i, std::size_t) {
                         const std::vector<Job> log =
-                            rescaleHistoryToPrediction(history[i],
-                                                       predicted);
+                            faults_active && outage_starved[i]
+                                ? std::vector<Job>()
+                                : rescaleHistoryToPrediction(
+                                      history[i], predicted);
+                        if (faults_active) {
+                            // Guarded path (docs/FAULTS.md): starved-
+                            // by-outage or infeasible lands on the
+                            // safe fixed policy for this server only.
+                            if (log.empty() && !outage_starved[i])
+                                return;
+                            guarded[i] =
+                                _managers[i]->selectFromLogGuarded(
+                                    log, _config.degradedPolicy);
+                            decisions[i] = guarded[i].decision;
+                            decided[i] = 1;
+                            return;
+                        }
                         if (log.empty())
                             return;
                         decisions[i] = _managers[i]->selectFromLog(log);
@@ -480,9 +892,19 @@ FarmRuntime::runPerServer(JobSource &source,
                     current[i] = decisions[i].policy;
                     epoch.feasible = decisions[i].feasible;
                     epoch.decided = true;
-                    epoch.boosted = applyOverProvision(
-                        current[i], _config.perServer.overProvision,
-                        last_within[i]);
+                    epoch.degraded =
+                        faults.active() && guarded[i].degraded;
+                    if (epoch.degraded) {
+                        degraded_epochs += 1;
+                        degraded_seconds +=
+                            static_cast<double>(epoch_len) *
+                            secondsPerMinute;
+                    } else {
+                        epoch.boosted = applyOverProvision(
+                            current[i],
+                            _config.perServer.overProvision,
+                            last_within[i]);
+                    }
                 }
                 if (!fixed)
                     trimHistory(history[i],
@@ -495,14 +917,20 @@ FarmRuntime::runPerServer(JobSource &source,
         const double minute_end = t + secondsPerMinute;
         double minute_demand = 0.0;
         while (has_pending && pending.arrival < minute_end) {
-            const std::size_t routed = farm.offerJob(pending);
+            faults.catchUp(pending.arrival);
+            const std::size_t routed = faults.offer(pending);
             minute_demand += pending.size;
             // Each server logs exactly the jobs dispatched to it — its
-            // own local view, nothing shared.
-            if (!fixed)
+            // own local view, nothing shared. Farm-wide outages park
+            // the job in the failover queue instead; it joins a log
+            // via the admit hook if a retry lands.
+            if (!fixed && routed != ServerFarm::noServer) {
                 history[routed].push_back(pending);
+                ++logged[routed];
+            }
             has_pending = source.next(pending);
         }
+        faults.catchUp(minute_end);
         farm.advanceTo(minute_end);
 
         const double observed = std::clamp(
@@ -510,13 +938,17 @@ FarmRuntime::runPerServer(JobSource &source,
         predictor.observe(minute, observed);
     }
 
+    // Play the failover queue out, then run everything to completion.
+    faults.drain();
     const double horizon =
         std::max(trace.duration(), farm.nextFreeTime());
+    faults.catchUp(horizon);
     farm.advanceTo(horizon);
-    closeEpoch(farm.harvestWindows());
+    closeEpoch(farm.harvestWindows(), horizon);
 
     for (const EpochReport &report : result.epochs)
         result.total.merge(report.stats);
+    result.faults = result.epochFaults.back();
     result.jobsPerServer = farm.jobsPerServer();
     for (std::size_t i = 0; i < size; ++i) {
         result.servers[i].jobsRouted = result.jobsPerServer[i];

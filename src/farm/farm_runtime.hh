@@ -35,6 +35,7 @@
 
 #include "core/runtime.hh"
 #include "farm/server_farm.hh"
+#include "fault/fault_source.hh"
 #include "workload/job_source.hh"
 #include "workload/utilization_trace.hh"
 
@@ -78,6 +79,97 @@ struct FarmRuntimeConfig
     /** Per-server policy-management knobs (epoch length, α, ρ_b, QoS
      * metric, candidate space, log caps). */
     RuntimeConfig perServer;
+
+    // ------------------------------------------ fault injection
+    // (docs/FAULTS.md; all ignored when faults == "none").
+
+    /** Fault-source family ("none", "mtbf", "correlated", "scripted")
+     * resolved against faultSourceRegistry(). "none" reproduces the
+     * fault-free runtime bit-for-bit. */
+    std::string faults = "none";
+
+    /** Mean time between failures, seconds ("mtbf"/"correlated"). */
+    double mtbf = 4.0 * 3600.0;
+
+    /** Mean time to recovery, seconds ("mtbf"/"correlated"). */
+    double mttr = 300.0;
+
+    /** Servers per correlated outage ("correlated" only). */
+    std::size_t correlatedGroup = 2;
+
+    /** Scripted crash/recovery schedule ("scripted" only). */
+    std::vector<FaultEvent> faultScript;
+
+    /** Seed of the stochastic fault schedules (derive it from the
+     * scenario seed with mixSeed so replications decorrelate). */
+    std::uint64_t faultSeed = 1;
+
+    /** Initial failover backoff, seconds of sim time (> 0): a job that
+     * finds every server down is retried after retryBackoff, then
+     * 2x, 4x, ... capped at retryBackoffCap. */
+    double retryBackoff = 1.0;
+
+    /** Ceiling of the exponential failover backoff, seconds. */
+    double retryBackoffCap = 60.0;
+
+    /** A job still undispatched this long after its original arrival
+     * is dropped and recorded as an SLO loss, seconds. */
+    double dropTimeout = 300.0;
+
+    /** Extra delay between a recovery event and the server accepting
+     * work again, seconds (the Recovering lifecycle stage). */
+    double recoverySeconds = 0.0;
+
+    /** Safe fixed policy controllers fall back to in degraded mode
+     * (default: full frequency, no sleep descent). */
+    Policy degradedPolicy;
+};
+
+/** Availability-plane counters of a fault-injected farm run. All
+ * fields are cumulative from the start of the run. */
+struct FarmFaultStats
+{
+    /** Jobs the source offered to the farm. */
+    std::uint64_t offered = 0;
+
+    /** Jobs admitted to some server (first try or via failover). */
+    std::uint64_t admitted = 0;
+
+    /** Completions across the farm. */
+    std::uint64_t completed = 0;
+
+    /** Jobs dropped after dropTimeout — the recorded SLO losses. */
+    std::uint64_t dropped = 0;
+
+    /** Failover re-dispatch attempts (every retry counts). */
+    std::uint64_t retries = 0;
+
+    /** Jobs in flight: admitted-but-not-completed plus the jobs
+     * waiting in the failover retry queue (snapshot, not cumulative).
+     * Conservation (pinned by the fault fuzzer): at every epoch close,
+     * offered == completed + dropped + inFlight. */
+    std::uint64_t inFlight = 0;
+
+    /** Seconds of server unavailability summed across the farm. */
+    double downSeconds = 0.0;
+
+    /** Seconds of degraded-mode (safe fixed policy) operation summed
+     * across the farm's controllers. */
+    double degradedSeconds = 0.0;
+
+    /** Server-epochs that ran the degraded fallback policy. */
+    std::uint64_t degradedEpochs = 0;
+
+    /** Sim seconds elapsed when this snapshot was taken. */
+    double elapsedSeconds = 0.0;
+
+    /** Fraction of server-seconds the farm was available over the
+     * elapsed span (1 when no time has elapsed). */
+    double availability(std::size_t farm_size) const;
+
+    /** Fraction of offered jobs that completed (1 when nothing was
+     * offered). */
+    double goodput() const;
 };
 
 /** One back-end's slice of a farm run (always populated; per-epoch
@@ -136,6 +228,15 @@ struct FarmRuntimeResult
 
     /** The QoS constraint the run was managed against. */
     QosConstraint qos = QosConstraint::meanBudget(1.0);
+
+    /** Whole-run availability-plane counters (all-zero except
+     * completed/offered/admitted mirrors for fault-free runs). */
+    FarmFaultStats faults;
+
+    /** Cumulative fault counters snapshotted at each epoch close
+     * (index-aligned with `epochs`; the fault fuzzer asserts the
+     * conservation identity on every entry). */
+    std::vector<FarmFaultStats> epochFaults;
 
     /** Whole-run mean response, seconds. */
     double meanResponse() const { return total.meanResponse(); }

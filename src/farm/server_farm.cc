@@ -1,10 +1,33 @@
 #include "farm/server_farm.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/error.hh"
 
 namespace sleepscale {
+
+namespace {
+
+constexpr double never = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+std::string
+toString(ServerLifecycle state)
+{
+    switch (state) {
+      case ServerLifecycle::Up:
+        return "up";
+      case ServerLifecycle::Draining:
+        return "draining";
+      case ServerLifecycle::Down:
+        return "down";
+      case ServerLifecycle::Recovering:
+        return "recovering";
+    }
+    panic("toString: unknown ServerLifecycle");
+}
 
 ServerFarm::ServerFarm(const PlatformModel &platform,
                        ServiceScaling scaling, const Policy &initial,
@@ -18,6 +41,9 @@ ServerFarm::ServerFarm(const PlatformModel &platform,
     for (std::size_t i = 0; i < size; ++i)
         _servers.emplace_back(platform, scaling, initial);
     _jobsRouted.assign(size, 0);
+    _acceptFrom.assign(size, 0.0);
+    _downSeconds.assign(size, 0.0);
+    _downMark.assign(size, 0.0);
 }
 
 ServerFarm::ServerFarm(const std::vector<const PlatformModel *> &platforms,
@@ -34,6 +60,9 @@ ServerFarm::ServerFarm(const std::vector<const PlatformModel *> &platforms,
         _servers.emplace_back(*platform, scaling, initial);
     }
     _jobsRouted.assign(platforms.size(), 0);
+    _acceptFrom.assign(platforms.size(), 0.0);
+    _downSeconds.assign(platforms.size(), 0.0);
+    _downMark.assign(platforms.size(), 0.0);
 }
 
 std::vector<ServerSnapshot>
@@ -50,14 +79,56 @@ ServerFarm::snapshots(double now) const
 std::size_t
 ServerFarm::offerJob(const Job &job)
 {
+    const std::size_t pick = tryOfferJob(job);
+    fatalIf(pick == noServer,
+            "ServerFarm::offerJob: no server is accepting work (use "
+            "tryOfferJob() to back off and retry)");
+    return pick;
+}
+
+std::size_t
+ServerFarm::tryOfferJob(const Job &job)
+{
     fatalIf(job.arrival < _lastArrival,
             "ServerFarm::offerJob: arrivals must be non-decreasing");
     _lastArrival = job.arrival;
 
-    const std::size_t pick =
-        _dispatcher->route(job, snapshots(job.arrival));
-    fatalIf(pick >= _servers.size(),
-            "ServerFarm: dispatcher chose a server out of range");
+    std::size_t pick = noServer;
+    if (!_anyUnavailable) {
+        // Fault-free fast path: identical routing (and identical
+        // dispatcher RNG consumption) to the pre-fault-layer farm.
+        pick = _dispatcher->route(job, snapshots(job.arrival));
+        fatalIf(pick >= _servers.size(),
+                "ServerFarm: dispatcher chose a server out of range");
+    } else {
+        // Failover path: the dispatcher only sees the servers
+        // accepting work at this instant, in index order, and its
+        // choice maps back through the eligibility list.
+        std::vector<std::size_t> eligible;
+        eligible.reserve(_servers.size());
+        for (std::size_t i = 0; i < _servers.size(); ++i) {
+            if (accepting(i, job.arrival))
+                eligible.push_back(i);
+        }
+        if (eligible.size() == _servers.size()) {
+            // Everyone recovered: drop back to the fast path for good
+            // (until the next failServer()).
+            _anyUnavailable = false;
+            return tryOfferJob(job);
+        }
+        if (eligible.empty())
+            return noServer;
+        std::vector<ServerSnapshot> view(eligible.size());
+        for (std::size_t k = 0; k < eligible.size(); ++k) {
+            view[k].backlog =
+                _servers[eligible[k]].backlog(job.arrival);
+            view[k].idle = _servers[eligible[k]].idleAt(job.arrival);
+        }
+        const std::size_t choice = _dispatcher->route(job, view);
+        fatalIf(choice >= eligible.size(),
+                "ServerFarm: dispatcher chose a server out of range");
+        pick = eligible[choice];
+    }
     _servers[pick].offerJob(job);
     ++_jobsRouted[pick];
     return pick;
@@ -68,6 +139,107 @@ ServerFarm::advanceTo(double t)
 {
     for (ServerSim &server : _servers)
         server.advanceTo(t);
+    if (_anyUnavailable || t > _lastAdvance) {
+        for (std::size_t i = 0; i < _servers.size(); ++i)
+            accrueDown(i, t);
+    }
+    _lastAdvance = std::max(_lastAdvance, t);
+}
+
+void
+ServerFarm::accrueDown(std::size_t server, double t)
+{
+    // Unavailability spans from the crash to the end of the recovery
+    // delay; accrue the part of it that advancing to t newly covers.
+    const double until = std::min(t, _acceptFrom[server]);
+    if (until > _downMark[server]) {
+        _downSeconds[server] += until - _downMark[server];
+        _downMark[server] = until;
+    }
+}
+
+void
+ServerFarm::failServer(std::size_t server, double t)
+{
+    fatalIf(server >= _servers.size(),
+            "ServerFarm::failServer: server index out of range");
+    if (_acceptFrom[server] == never)
+        return; // Already crashed; keep the original accounting mark.
+    // A crash during a pending recovery window restarts the outage;
+    // accrue the window covered so far first.
+    accrueDown(server, t);
+    _acceptFrom[server] = never;
+    _downMark[server] = std::max(t, _downMark[server]);
+    _anyUnavailable = true;
+}
+
+void
+ServerFarm::restoreServer(std::size_t server, double t)
+{
+    fatalIf(server >= _servers.size(),
+            "ServerFarm::restoreServer: server index out of range");
+    if (_acceptFrom[server] != never)
+        return; // Not crashed (Up or already recovering).
+    accrueDown(server, t);
+    _acceptFrom[server] = t + _recoverySeconds;
+    _downMark[server] = std::max(_downMark[server], t);
+}
+
+void
+ServerFarm::setRecoverySeconds(double seconds)
+{
+    fatalIf(!(seconds >= 0.0),
+            "ServerFarm::setRecoverySeconds: delay must be >= 0");
+    _recoverySeconds = seconds;
+}
+
+bool
+ServerFarm::accepting(std::size_t server, double now) const
+{
+    fatalIf(server >= _servers.size(),
+            "ServerFarm::accepting: server index out of range");
+    return now >= _acceptFrom[server];
+}
+
+std::size_t
+ServerFarm::acceptingCount(double now) const
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < _servers.size(); ++i)
+        count += accepting(i, now) ? 1 : 0;
+    return count;
+}
+
+ServerLifecycle
+ServerFarm::lifecycle(std::size_t server, double now) const
+{
+    fatalIf(server >= _servers.size(),
+            "ServerFarm::lifecycle: server index out of range");
+    if (now >= _acceptFrom[server])
+        return ServerLifecycle::Up;
+    if (_acceptFrom[server] == never) {
+        return _servers[server].backlog(now) > 0.0
+                   ? ServerLifecycle::Draining
+                   : ServerLifecycle::Down;
+    }
+    return ServerLifecycle::Recovering;
+}
+
+double
+ServerFarm::downSeconds(std::size_t server) const
+{
+    fatalIf(server >= _servers.size(),
+            "ServerFarm::downSeconds: server index out of range");
+    return _downSeconds[server];
+}
+
+double
+ServerFarm::totalDownSeconds() const
+{
+    double total = 0.0;
+    for (double seconds : _downSeconds)
+        total += seconds;
+    return total;
 }
 
 void

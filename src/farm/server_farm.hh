@@ -15,6 +15,7 @@
 #define SLEEPSCALE_FARM_SERVER_FARM_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "farm/dispatcher.hh"
@@ -22,6 +23,21 @@
 #include "sim/server_sim.hh"
 
 namespace sleepscale {
+
+/**
+ * Availability lifecycle of one back-end under fault injection
+ * (docs/FAULTS.md). Fault-free farms stay Up forever.
+ */
+enum class ServerLifecycle
+{
+    Up,         ///< Accepting and serving work.
+    Draining,   ///< Crashed: rejects new work, finishes its backlog.
+    Down,       ///< Crashed and empty: rejects work, idles dark.
+    Recovering, ///< Restored but still inside the recovery delay.
+};
+
+/** Lifecycle state name ("up", "draining", "down", "recovering"). */
+std::string toString(ServerLifecycle state);
 
 /** Fixed-size server farm (homogeneous or per-server platforms). */
 class ServerFarm
@@ -57,15 +73,69 @@ class ServerFarm
     /** Number of servers. */
     std::size_t size() const { return _servers.size(); }
 
+    /** Returned by tryOfferJob() when no server is accepting work. */
+    static constexpr std::size_t noServer =
+        static_cast<std::size_t>(-1);
+
     /**
      * Route and admit one arrival (non-decreasing arrival times).
+     * Routing only considers servers accepting work at the arrival
+     * instant; fatal() when every server is unavailable — callers that
+     * can retry should use tryOfferJob() instead.
      *
      * @return Index of the server that received the job.
      */
     std::size_t offerJob(const Job &job);
 
-    /** Integrate all servers' accounting up to time t. */
+    /**
+     * Fault-tolerant variant of offerJob(): routes among the servers
+     * accepting work at the arrival instant and returns noServer —
+     * instead of fatal() — when there are none, so the caller can
+     * back off and retry (FarmRuntime's failover path). With every
+     * server up this is byte-identical to offerJob(), including the
+     * dispatcher's RNG consumption.
+     *
+     * @return Index of the admitting server, or noServer.
+     */
+    std::size_t tryOfferJob(const Job &job);
+
+    /** Integrate all servers' accounting up to time t (also accrues
+     * per-server unavailability, see downSeconds()). */
     void advanceTo(double t);
+
+    /**
+     * Crash one server at time t: it stops accepting new work
+     * (Draining while its committed backlog runs out, then Down) until
+     * restoreServer(). Idempotent on an already-crashed server.
+     */
+    void failServer(std::size_t server, double t);
+
+    /**
+     * Restore a crashed server at time t: it re-enters service after
+     * the configured recovery delay (Recovering in between). No-op on
+     * a server that is not crashed.
+     */
+    void restoreServer(std::size_t server, double t);
+
+    /** Additional delay between restoreServer() and accepting work
+     * again, seconds (default 0: recovery is instantaneous). */
+    void setRecoverySeconds(double seconds);
+
+    /** Whether a server accepts new work at time `now`. */
+    bool accepting(std::size_t server, double now) const;
+
+    /** Number of servers accepting new work at time `now`. */
+    std::size_t acceptingCount(double now) const;
+
+    /** Lifecycle state of one server at time `now`. */
+    ServerLifecycle lifecycle(std::size_t server, double now) const;
+
+    /** Cumulative seconds this server has been unavailable (crashed or
+     * recovering), accrued by advanceTo()/restoreServer(). */
+    double downSeconds(std::size_t server) const;
+
+    /** Sum of downSeconds() across the farm. */
+    double totalDownSeconds() const;
 
     /** Switch every server to a policy at time t. */
     void setPolicy(const Policy &policy, double t);
@@ -121,7 +191,32 @@ class ServerFarm
     std::vector<std::uint64_t> _jobsRouted;
     double _lastArrival = 0.0;
 
+    /** Per-server availability: the time a server (re-)enters service.
+     * 0 initially (always accepting), +inf while crashed, restore time
+     * plus the recovery delay while recovering. */
+    std::vector<double> _acceptFrom;
+
+    /** Per-server cumulative unavailability, seconds. */
+    std::vector<double> _downSeconds;
+
+    /** Per-server accrual marker: unavailability is accounted up to
+     * this time (meaningful only while a server is unavailable). */
+    std::vector<double> _downMark;
+
+    /** Recovery delay applied by restoreServer(), seconds. */
+    double _recoverySeconds = 0.0;
+
+    /** Latest advanceTo() time (drives unavailability accrual). */
+    double _lastAdvance = 0.0;
+
+    /** Whether any server is currently crashed or recovering (fast
+     * path: fault-free runs skip the eligibility filter entirely). */
+    bool _anyUnavailable = false;
+
     std::vector<ServerSnapshot> snapshots(double now) const;
+
+    /** Accrue one server's unavailability up to time t. */
+    void accrueDown(std::size_t server, double t);
 };
 
 } // namespace sleepscale

@@ -254,11 +254,18 @@ ReplaySource::next(Job &out)
 {
     std::string line;
     while (!_done && std::getline(_in, line)) {
+        // A final line without a trailing newline sets eofbit, under
+        // which tellg() would fail and poison the stream; clearing it
+        // first keeps _pos a real offset, so the terminated and
+        // unterminated spellings of the same log replay (and clone)
+        // identically.
+        if (_in.eof())
+            _in.clear();
         _pos = _in.tellg();
         ++_line;
         if (!line.empty() && line.back() == '\r')
             line.pop_back();
-        if (line.empty())
+        if (line.empty() || line.front() == '#')
             continue;
 
         std::vector<std::string> fields;
@@ -277,9 +284,9 @@ ReplaySource::next(Job &out)
         for (int i = 0; i < 2 && numeric; ++i)
             numeric = tryParseCsvDouble(fields[i], values[i]);
         if (!numeric) {
-            // A non-numeric first row is a header; anywhere else it is
-            // a malformed row.
-            if (!_headerChecked && _line == 1) {
+            // The first non-comment non-numeric row is a header;
+            // anywhere else it is a malformed row.
+            if (!_headerChecked) {
                 _headerChecked = true;
                 continue;
             }
@@ -309,9 +316,16 @@ ReplaySource::next(Job &out)
             out.classId = static_cast<int>(cls);
         }
         _lastArrival = arrival;
+        ++_rows;
         return true;
     }
+    const bool first_exhaustion = !_done;
     _done = true;
+    if (first_exhaustion && _rows == 0) {
+        fatal("ReplaySource '" + _path +
+              "': no data rows (the file is empty, comment-only, or "
+              "header-only); expected 'arrival,size[,class]' rows");
+    }
     return false;
 }
 
@@ -322,6 +336,7 @@ ReplaySource::reset(std::uint64_t)
     _in.clear();
     _pos = 0;
     _line = 0;
+    _rows = 0;
     _lastArrival = 0.0;
     _headerChecked = false;
     _done = false;
@@ -332,11 +347,10 @@ std::unique_ptr<JobSource>
 ReplaySource::clone() const
 {
     auto copy = std::make_unique<ReplaySource>(_path);
-    // O(1) continuation: seek straight to the first unread byte. A
-    // sentinel _pos of -1 means the final unterminated line was just
-    // consumed (tellg fails at EOF) — the stream is exhausted either
-    // way, so the clone starts done.
-    if (_pos == std::streampos(-1) || _done) {
+    // O(1) continuation: seek straight to the first unread byte. _pos
+    // is always a real offset (next() clears eofbit before tellg), so
+    // an unterminated final row needs no special case here.
+    if (_done) {
         copy->_done = true;
     } else if (_pos != std::streampos(0)) {
         copy->_in.seekg(_pos);
@@ -345,6 +359,7 @@ ReplaySource::clone() const
     }
     copy->_pos = _pos;
     copy->_line = _line;
+    copy->_rows = _rows;
     copy->_lastArrival = _lastArrival;
     copy->_headerChecked = _headerChecked;
     return copy;

@@ -232,8 +232,12 @@ class BurstySource final : public JobSource
  * (Google-cluster-trace style). Rows are parsed lazily — the file is
  * never materialized — and validated as they stream: non-numeric, NaN,
  * infinite, or negative fields and out-of-order arrivals raise a
- * line-numbered ConfigError. A first line whose fields are not numeric
- * is treated as a header and skipped.
+ * line-numbered ConfigError. Lines starting with '#' are comments; the
+ * first non-comment line whose fields are not numeric is treated as a
+ * header and skipped. A file with or without a trailing newline on its
+ * last row replays identically (clone() included). A log that yields
+ * no data rows at all — empty, comment-only, or header-only — raises a
+ * ConfigError naming the file rather than silently streaming nothing.
  */
 class ReplaySource final : public JobSource
 {
@@ -252,6 +256,7 @@ class ReplaySource final : public JobSource
     std::ifstream _in;
     std::streampos _pos{0};      ///< Offset after the last read line.
     std::size_t _line = 0;       ///< 1-based line of the last read.
+    std::size_t _rows = 0;       ///< Data rows yielded so far.
     double _lastArrival = 0.0;
     bool _headerChecked = false;
     bool _done = false;

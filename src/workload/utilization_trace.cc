@@ -123,10 +123,24 @@ UtilizationTrace::load(const std::string &path)
             text.pop_back();
     };
 
-    fatalIf(!std::getline(in, line),
-            "UtilizationTrace::load: '" + path + "' is empty");
-    chopCr(line);
-    ++line_no;
+    // Find the header, skipping blank and '#' comment lines. A file
+    // with no header at all — empty or comment-only — gets its own
+    // message instead of a confusing "no 'utilization' column in the
+    // header '# ...'".
+    bool have_header = false;
+    while (std::getline(in, line)) {
+        ++line_no;
+        chopCr(line);
+        if (line.empty() || line.front() == '#')
+            continue;
+        have_header = true;
+        break;
+    }
+    fatalIf(!have_header,
+            "UtilizationTrace::load: '" + path +
+                "' contains no header row (the file is empty or "
+                "comment-only); expected a CSV with a 'utilization' "
+                "column");
     std::size_t util_col = SIZE_MAX;
     std::size_t columns = 0;
     {
@@ -139,15 +153,15 @@ UtilizationTrace::load(const std::string &path)
         }
     }
     fatalIf(util_col == SIZE_MAX,
-            lineError(1, "no 'utilization' column in header '" + line +
-                             "'"));
+            lineError(line_no, "no 'utilization' column in header '" +
+                                   line + "'"));
 
     std::vector<double> values;
     double last_minute = -1.0;
     while (std::getline(in, line)) {
         ++line_no;
         chopCr(line);
-        if (line.empty())
+        if (line.empty() || line.front() == '#')
             continue;
         std::istringstream fields(line);
         std::string cell;
@@ -186,6 +200,10 @@ UtilizationTrace::load(const std::string &path)
         }
         values.push_back(u);
     }
+    fatalIf(values.empty(),
+            "UtilizationTrace::load: '" + path +
+                "' has a header but no data rows; a trace needs at "
+                "least one per-minute utilization value");
     return UtilizationTrace(path, std::move(values));
 }
 

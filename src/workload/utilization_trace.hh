@@ -76,7 +76,9 @@ class UtilizationTrace
     /** Serialize as a two-column CSV (minute, utilization). */
     void save(const std::string &path) const;
 
-    /** Load a trace saved by save(). */
+    /** Load a trace saved by save(). Blank and '#' comment lines are
+     * skipped; a file with no header (empty or comment-only) or with a
+     * header but no data rows fails fast naming the file. */
     static UtilizationTrace load(const std::string &path);
 
   private:

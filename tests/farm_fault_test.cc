@@ -1,0 +1,678 @@
+/**
+ * @file
+ * The availability plane (docs/FAULTS.md): fault-source determinism,
+ * the ServerFarm crash/recovery lifecycle, dispatcher failover with
+ * retry/backoff and drop accounting, degraded-mode policy decisions,
+ * and — most load-bearing — the pin that a "none"-fault configuration
+ * reproduces the fault-free farm runtime bit-for-bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hh"
+#include "core/strategies.hh"
+#include "experiment/replication.hh"
+#include "experiment/runner.hh"
+#include "farm/dispatcher.hh"
+#include "farm/farm_runtime.hh"
+#include "farm/server_farm.hh"
+#include "fault/fault_source.hh"
+#include "power/platform_model.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+#include "workload/workload_spec.hh"
+
+namespace sleepscale {
+namespace {
+
+// ---------------------------------------------------------- FaultSource
+
+bool
+sameEvents(const std::vector<FaultEvent> &a,
+           const std::vector<FaultEvent> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].time != b[i].time || a[i].server != b[i].server ||
+            a[i].down != b[i].down)
+            return false;
+    }
+    return true;
+}
+
+TEST(FaultSources, RegistryListsTheFourFamilies)
+{
+    for (const char *name : {"none", "mtbf", "correlated", "scripted"})
+        EXPECT_TRUE(faultSourceRegistry().contains(name)) << name;
+    FaultSourceConfig config;
+    EXPECT_THROW(makeFaultSource("voodoo", config), ConfigError);
+}
+
+TEST(FaultSources, NoFaultSourceIsEmpty)
+{
+    NoFaultSource source;
+    FaultEvent event;
+    EXPECT_FALSE(source.next(event));
+    source.reset(7);
+    EXPECT_FALSE(source.next(event));
+    EXPECT_FALSE(source.clone()->next(event));
+}
+
+TEST(FaultSources, MtbfIsSeedDeterministic)
+{
+    FaultSourceConfig config;
+    config.farmSize = 4;
+    config.mtbf = 1000.0;
+    config.mttr = 100.0;
+    config.seed = 42;
+    const auto source = makeFaultSource("mtbf", config);
+    const auto events = materializeFaults(*source, 50000.0);
+    ASSERT_FALSE(events.empty());
+
+    // Equal seeds reproduce the stream bit-for-bit, via reset() and
+    // via an independently constructed source.
+    source->reset(42);
+    EXPECT_TRUE(sameEvents(events, materializeFaults(*source, 50000.0)));
+    const auto twin = makeFaultSource("mtbf", config);
+    EXPECT_TRUE(sameEvents(events, materializeFaults(*twin, 50000.0)));
+
+    // A different seed yields a different schedule.
+    source->reset(43);
+    EXPECT_FALSE(sameEvents(events, materializeFaults(*source, 50000.0)));
+}
+
+TEST(FaultSources, MtbfAlternatesDownUpPerServer)
+{
+    FaultSourceConfig config;
+    config.farmSize = 3;
+    config.mtbf = 500.0;
+    config.mttr = 50.0;
+    config.seed = 9;
+    const auto source = makeFaultSource("mtbf", config);
+    const auto events = materializeFaults(*source, 100000.0);
+    ASSERT_GT(events.size(), 10u);
+
+    double last_time = 0.0;
+    std::vector<bool> expect_down(config.farmSize, true);
+    for (const FaultEvent &event : events) {
+        EXPECT_GE(event.time, last_time); // Globally non-decreasing.
+        last_time = event.time;
+        ASSERT_LT(event.server, config.farmSize);
+        // Each server strictly alternates crash / recovery.
+        EXPECT_EQ(event.down, expect_down[event.server]);
+        expect_down[event.server] = !event.down;
+    }
+}
+
+TEST(FaultSources, MtbfCloneContinuesMidStream)
+{
+    FaultSourceConfig config;
+    config.farmSize = 2;
+    config.mtbf = 300.0;
+    config.mttr = 60.0;
+    config.seed = 5;
+    const auto source = makeFaultSource("mtbf", config);
+    FaultEvent event;
+    for (int i = 0; i < 7; ++i)
+        ASSERT_TRUE(source->next(event));
+    const auto clone = source->clone();
+    // The clone continues exactly where the original stands, and
+    // draining the clone does not disturb the original.
+    const auto from_clone = materializeFaults(*clone, 20000.0);
+    const auto from_source = materializeFaults(*source, 20000.0);
+    EXPECT_TRUE(sameEvents(from_clone, from_source));
+}
+
+TEST(FaultSources, CorrelatedOutagesCoverGroupsWithoutOverlap)
+{
+    FaultSourceConfig config;
+    config.farmSize = 5;
+    config.correlatedGroup = 3;
+    config.mtbf = 2000.0;
+    config.mttr = 200.0;
+    config.seed = 11;
+    const auto source = makeFaultSource("correlated", config);
+    const auto events = materializeFaults(*source, 200000.0);
+    ASSERT_GE(events.size(), 2 * config.correlatedGroup);
+    ASSERT_EQ(events.size() % (2 * config.correlatedGroup), 0u);
+
+    // Events come as one burst of `group` crashes at a common time,
+    // then `group` recoveries at a common later time, never
+    // overlapping the next outage.
+    double previous_up = 0.0;
+    for (std::size_t i = 0; i < events.size();
+         i += 2 * config.correlatedGroup) {
+        const double down_time = events[i].time;
+        const double up_time = events[i + config.correlatedGroup].time;
+        EXPECT_GE(down_time, previous_up);
+        EXPECT_GT(up_time, down_time);
+        std::vector<bool> hit(config.farmSize, false);
+        for (std::size_t k = 0; k < config.correlatedGroup; ++k) {
+            const FaultEvent &down = events[i + k];
+            const FaultEvent &up = events[i + config.correlatedGroup + k];
+            EXPECT_TRUE(down.down);
+            EXPECT_FALSE(up.down);
+            EXPECT_EQ(down.time, down_time);
+            EXPECT_EQ(up.time, up_time);
+            EXPECT_EQ(down.server, up.server);
+            ASSERT_LT(down.server, config.farmSize);
+            EXPECT_FALSE(hit[down.server]); // Distinct servers.
+            hit[down.server] = true;
+        }
+        previous_up = up_time;
+    }
+
+    // Determinism carries over to the correlated family too.
+    source->reset(11);
+    EXPECT_TRUE(sameEvents(events, materializeFaults(*source, 200000.0)));
+}
+
+TEST(FaultSources, ScriptedReplaysVerbatimAndValidates)
+{
+    const std::vector<FaultEvent> script = {
+        {100.0, 0, true}, {150.0, 1, true}, {150.0, 1, false},
+        {220.0, 0, false}};
+    FaultSourceConfig config;
+    config.farmSize = 2;
+    config.script = script;
+    const auto source = makeFaultSource("scripted", config);
+    EXPECT_TRUE(sameEvents(script, materializeFaults(*source, 1e9)));
+    FaultEvent event;
+    EXPECT_FALSE(source->next(event)); // Exhausted, forever.
+    EXPECT_FALSE(source->next(event));
+    source->reset(999); // Seed ignored: the script IS the schedule.
+    EXPECT_TRUE(sameEvents(script, materializeFaults(*source, 1e9)));
+
+    // Validation up front: out-of-order times, out-of-range servers,
+    // and non-finite times are configuration errors.
+    EXPECT_THROW(ScriptedFaultSource(2, {{50.0, 0, true},
+                                         {40.0, 0, false}}),
+                 ConfigError);
+    EXPECT_THROW(ScriptedFaultSource(2, {{50.0, 2, true}}), ConfigError);
+    EXPECT_THROW(ScriptedFaultSource(2, {{-1.0, 0, true}}), ConfigError);
+
+    // An empty script is the no-fault schedule.
+    ScriptedFaultSource empty(2, {});
+    EXPECT_FALSE(empty.next(event));
+}
+
+TEST(FaultSources, FactoryValidatesRates)
+{
+    FaultSourceConfig config;
+    config.farmSize = 2;
+    config.mtbf = 0.0;
+    EXPECT_THROW(makeFaultSource("mtbf", config), ConfigError);
+    config.mtbf = 100.0;
+    config.mttr = -1.0;
+    EXPECT_THROW(makeFaultSource("correlated", config), ConfigError);
+    config.mttr = 10.0;
+    config.farmSize = 0;
+    EXPECT_THROW(makeFaultSource("mtbf", config), ConfigError);
+}
+
+// ------------------------------------------------- ServerFarm lifecycle
+
+class FaultFarmTest : public ::testing::Test
+{
+  protected:
+    PlatformModel xeon = PlatformModel::xeon();
+    Policy idlePolicy{1.0,
+                      SleepPlan::immediate(LowPowerState::C6S0Idle)};
+
+    ServerFarm
+    makeFarm(std::size_t size,
+             const std::string &dispatcher = "round-robin")
+    {
+        return ServerFarm(xeon, ServiceScaling::cpuBound(), idlePolicy,
+                          size, makeDispatcher(dispatcher));
+    }
+};
+
+TEST_F(FaultFarmTest, LifecycleWalksDrainDownRecoverUp)
+{
+    ServerFarm farm = makeFarm(2);
+    farm.setRecoverySeconds(10.0);
+    EXPECT_EQ(farm.lifecycle(0, 0.0), ServerLifecycle::Up);
+
+    // Give one server 5 s of committed work, then crash it mid-job:
+    // it drains the backlog, goes dark, and recovers only after the
+    // configured delay.
+    const std::size_t victim = farm.tryOfferJob({0.0, 5.0});
+    farm.failServer(victim, 1.0);
+    EXPECT_EQ(farm.lifecycle(victim, 1.0), ServerLifecycle::Draining);
+    EXPECT_FALSE(farm.accepting(victim, 1.0));
+    EXPECT_EQ(farm.acceptingCount(1.0), 1u);
+    EXPECT_EQ(farm.lifecycle(victim, 20.0), ServerLifecycle::Down);
+
+    farm.restoreServer(victim, 30.0);
+    EXPECT_EQ(farm.lifecycle(victim, 35.0), ServerLifecycle::Recovering);
+    EXPECT_FALSE(farm.accepting(victim, 35.0));
+    EXPECT_EQ(farm.lifecycle(victim, 40.0), ServerLifecycle::Up);
+    EXPECT_TRUE(farm.accepting(victim, 40.0));
+
+    // Unavailability spans crash (t=1) through the end of the
+    // recovery delay (t=40).
+    farm.advanceTo(50.0);
+    EXPECT_NEAR(farm.downSeconds(victim), 39.0, 1e-9);
+    EXPECT_NEAR(farm.totalDownSeconds(), 39.0, 1e-9);
+    const std::size_t other = victim == 0 ? 1 : 0;
+    EXPECT_DOUBLE_EQ(farm.downSeconds(other), 0.0);
+}
+
+TEST_F(FaultFarmTest, LifecycleStateNames)
+{
+    EXPECT_EQ(toString(ServerLifecycle::Up), "up");
+    EXPECT_EQ(toString(ServerLifecycle::Draining), "draining");
+    EXPECT_EQ(toString(ServerLifecycle::Down), "down");
+    EXPECT_EQ(toString(ServerLifecycle::Recovering), "recovering");
+}
+
+TEST_F(FaultFarmTest, TryOfferSignalsWhenNoServerAccepts)
+{
+    ServerFarm farm = makeFarm(2);
+    farm.failServer(0, 0.0);
+    farm.failServer(0, 0.0); // Idempotent on an already-crashed server.
+    farm.failServer(1, 0.0);
+    EXPECT_EQ(farm.acceptingCount(1.0), 0u);
+    EXPECT_EQ(farm.tryOfferJob({1.0, 1.0}), ServerFarm::noServer);
+    // offerJob() has no failover path and fails fast instead.
+    EXPECT_THROW(farm.offerJob({1.0, 1.0}), ConfigError);
+
+    // Restoring one server routes everything to it.
+    farm.restoreServer(0, 2.0);
+    farm.restoreServer(0, 2.0); // No-op on a server that is not crashed.
+    EXPECT_EQ(farm.tryOfferJob({3.0, 1.0}), 0u);
+    EXPECT_EQ(farm.tryOfferJob({3.5, 1.0}), 0u);
+
+    EXPECT_THROW(farm.failServer(2, 0.0), ConfigError);
+    EXPECT_THROW(farm.restoreServer(2, 0.0), ConfigError);
+    EXPECT_THROW(farm.setRecoverySeconds(-1.0), ConfigError);
+}
+
+// ------------------------------------------- FarmRuntime failover path
+
+FarmRuntimeConfig
+faultRuntimeConfig(std::size_t farm_size, const std::string &control)
+{
+    FarmRuntimeConfig config;
+    config.farmSize = farm_size;
+    config.control = control;
+    config.dispatchSeed = mixSeed(1);
+    config.faultSeed = mixSeed(mixSeed(1));
+    config.perServer.epochMinutes = 5;
+    return config;
+}
+
+FarmRuntimeResult
+runFaultScenario(const FarmRuntimeConfig &config,
+                 const UtilizationTrace &trace)
+{
+    const PlatformModel platform = platformByName("xeon");
+    const WorkloadSpec workload = workloadByName("dns");
+    FarmRuntime runtime(platform, workload, config);
+    const auto source =
+        makeFarmSource(workload, trace, config.farmSize, 1);
+    const auto predictor = makePredictor("LC", 10, trace.values());
+    return runtime.run(*source, trace, *predictor);
+}
+
+void
+expectConservation(const FarmRuntimeResult &result)
+{
+    ASSERT_FALSE(result.epochFaults.empty());
+    for (const FarmFaultStats &s : result.epochFaults) {
+        EXPECT_EQ(s.offered, s.completed + s.dropped + s.inFlight)
+            << "at elapsed " << s.elapsedSeconds;
+    }
+    const FarmFaultStats &final = result.faults;
+    EXPECT_EQ(final.offered, final.completed + final.dropped);
+    EXPECT_EQ(final.inFlight, 0u); // Everything drained or dropped.
+}
+
+TEST(FarmFailover, FullOutageRetriesWithoutLosingJobs)
+{
+    // Both servers down for 100 s: every arrival in the gap must be
+    // retried and eventually admitted — the outage is far shorter
+    // than the drop deadline, so nothing may be lost.
+    const UtilizationTrace trace("flat", std::vector<double>(60, 0.3));
+    for (const char *control : {"farm-wide", "per-server"}) {
+        FarmRuntimeConfig config = faultRuntimeConfig(2, control);
+        config.faults = "scripted";
+        config.faultScript = {{600.0, 0, true},
+                              {600.0, 1, true},
+                              {700.0, 0, false},
+                              {700.0, 1, false}};
+        config.retryBackoff = 1.0;
+        config.retryBackoffCap = 30.0;
+        config.dropTimeout = 600.0;
+
+        const FarmRuntimeResult result = runFaultScenario(config, trace);
+        expectConservation(result);
+        EXPECT_GT(result.faults.retries, 0u) << control;
+        EXPECT_EQ(result.faults.dropped, 0u) << control;
+        EXPECT_EQ(result.faults.offered, result.faults.completed);
+        EXPECT_DOUBLE_EQ(result.faults.goodput(), 1.0);
+        // Two servers out for 100 s each.
+        EXPECT_NEAR(result.faults.downSeconds, 200.0, 1e-6);
+        const double availability = result.faults.availability(2);
+        EXPECT_LT(availability, 1.0);
+        EXPECT_GT(availability, 0.9);
+    }
+}
+
+TEST(FarmFailover, OutagePastDeadlineDropsAsSloLoss)
+{
+    // A 600 s full-farm outage against a 100 s drop deadline: jobs
+    // arriving early in the gap exhaust their deadline and are
+    // dropped; conservation must still hold with drops counted.
+    const UtilizationTrace trace("flat", std::vector<double>(60, 0.3));
+    FarmRuntimeConfig config = faultRuntimeConfig(2, "farm-wide");
+    config.faults = "scripted";
+    config.faultScript = {{600.0, 0, true},
+                          {600.0, 1, true},
+                          {1200.0, 0, false},
+                          {1200.0, 1, false}};
+    config.retryBackoff = 1.0;
+    config.retryBackoffCap = 30.0;
+    config.dropTimeout = 100.0;
+
+    const FarmRuntimeResult result = runFaultScenario(config, trace);
+    expectConservation(result);
+    EXPECT_GT(result.faults.dropped, 0u);
+    EXPECT_GT(result.faults.retries, 0u);
+    EXPECT_LT(result.faults.goodput(), 1.0);
+    EXPECT_GT(result.faults.goodput(), 0.5);
+    EXPECT_EQ(result.faults.admitted + result.faults.dropped,
+              result.faults.offered);
+}
+
+TEST(FarmFailover, RecoveryDelayExtendsUnavailability)
+{
+    const UtilizationTrace trace("flat", std::vector<double>(30, 0.3));
+    FarmRuntimeConfig config = faultRuntimeConfig(2, "farm-wide");
+    config.faults = "scripted";
+    config.faultScript = {{300.0, 0, true}, {400.0, 0, false}};
+    config.recoverySeconds = 50.0;
+
+    const FarmRuntimeResult result = runFaultScenario(config, trace);
+    expectConservation(result);
+    // 100 s outage plus the 50 s Recovering stage.
+    EXPECT_NEAR(result.faults.downSeconds, 150.0, 1e-6);
+    EXPECT_EQ(result.faults.dropped, 0u);
+}
+
+// --------------------------------------------------- degraded decisions
+
+TEST(DegradedMode, StarvedServerFallsBackToSafePolicy)
+{
+    // Server 1 is down for four full epochs: its decision log starves,
+    // and its autonomous controller must fall back to the safe fixed
+    // policy instead of searching an empty log.
+    const UtilizationTrace trace("flat", std::vector<double>(40, 0.3));
+    FarmRuntimeConfig config = faultRuntimeConfig(2, "per-server");
+    config.faults = "scripted";
+    config.faultScript = {{310.0, 1, true}, {1500.0, 1, false}};
+
+    const FarmRuntimeResult result = runFaultScenario(config, trace);
+    expectConservation(result);
+    EXPECT_GT(result.faults.degradedEpochs, 0u);
+    EXPECT_GT(result.faults.degradedSeconds, 0.0);
+
+    // The degraded epochs are on the crashed server, run the fallback
+    // policy (default: full frequency), and are flagged in its stream.
+    ASSERT_EQ(result.servers.size(), 2u);
+    std::size_t degraded_epochs = 0;
+    for (const EpochReport &epoch : result.servers[1].epochs) {
+        if (!epoch.degraded)
+            continue;
+        ++degraded_epochs;
+        EXPECT_FALSE(epoch.feasible);
+        EXPECT_DOUBLE_EQ(epoch.policy.frequency,
+                         config.degradedPolicy.frequency);
+    }
+    EXPECT_EQ(degraded_epochs, result.faults.degradedEpochs);
+    for (const EpochReport &epoch : result.servers[0].epochs)
+        EXPECT_FALSE(epoch.degraded); // The healthy server never does.
+}
+
+TEST(DegradedMode, FarmWideControllerDegradesWhenRepresentativeDies)
+{
+    // Farm-wide control decides from server 0's thinned log; crashing
+    // server 0 across epochs starves the single controller, which must
+    // degrade the whole farm rather than hold a stale search.
+    const UtilizationTrace trace("flat", std::vector<double>(40, 0.3));
+    FarmRuntimeConfig config = faultRuntimeConfig(2, "farm-wide");
+    config.faults = "scripted";
+    config.faultScript = {{310.0, 0, true}, {1500.0, 0, false}};
+
+    const FarmRuntimeResult result = runFaultScenario(config, trace);
+    expectConservation(result);
+    EXPECT_GT(result.faults.degradedEpochs, 0u);
+    // Farm-wide degradation covers every server in the epoch.
+    EXPECT_EQ(result.faults.degradedEpochs % config.farmSize, 0u);
+    bool saw_degraded = false;
+    for (const EpochReport &epoch : result.epochs)
+        saw_degraded = saw_degraded || epoch.degraded;
+    EXPECT_TRUE(saw_degraded);
+}
+
+// ------------------------------------------------- no-fault equivalence
+
+// The fault layer's cardinal rule: a "none"-fault configuration is
+// byte-identical to the pre-fault runtime — same totals, same decision
+// streams, same RNG consumption. These constants were produced by the
+// runtime immediately before the fault layer landed; a change here is
+// a behavioural regression of the fault-free path, not a re-pin.
+struct TotalsPin
+{
+    const char *workload;
+    const char *control;
+    double energy;
+    double meanResponse;
+    double avgPower;
+    std::uint64_t jobs;
+};
+
+constexpr TotalsPin totalsPins[] = {
+    {"dns", "farm-wide", 0x1.49196fd8e6d27p+20, 0x1.eb74fdc2f439ap-2,
+     0x1.766468493ff6dp+8, 16641},
+    {"dns", "per-server", 0x1.4b99037de62b7p+20, 0x1.e12d8011e531fp-2,
+     0x1.793c01c60cd18p+8, 16641},
+    {"mail", "farm-wide", 0x1.8bd522d21b937p+20, 0x1.c479452b3dfdp-2,
+     0x1.c259b4da34c69p+8, 35626},
+    {"mail", "per-server", 0x1.7c88c4373db3ap+20, 0x1.c65214b271bbap-2,
+     0x1.b0f1efdcdf795p+8, 35626},
+    {"google", "farm-wide", 0x1.5201231721fb9p+20, 0x1.490185fa4c5dcp-7,
+     0x1.80925f2353076p+8, 772151},
+    {"google", "per-server", 0x1.5201231721fb9p+20,
+     0x1.490185fa4c5dcp-7, 0x1.80925f2353076p+8, 772151},
+};
+
+ScenarioSpec
+pinSpec(const std::string &workload, const std::string &control)
+{
+    return ScenarioBuilder(workload + "/" + control)
+        .engine(EngineKind::Farm)
+        .workload(workload)
+        .flatTrace(0.3, 60)
+        .farmSize(3)
+        .farmControl(control)
+        .epochMinutes(5)
+        .seed(1)
+        .build();
+}
+
+TEST(NoFaultPin, TotalsMatchTheFaultFreeRuntimeBitForBit)
+{
+    for (const TotalsPin &pin : totalsPins) {
+        const ScenarioResult result =
+            ExperimentRunner::runScenario(pinSpec(pin.workload,
+                                                  pin.control));
+        // EXPECT_EQ on doubles on purpose: the contract is bit-for-bit
+        // equality, not closeness.
+        EXPECT_EQ(result.energy, pin.energy)
+            << pin.workload << "/" << pin.control;
+        EXPECT_EQ(result.meanResponse, pin.meanResponse)
+            << pin.workload << "/" << pin.control;
+        EXPECT_EQ(result.avgPower, pin.avgPower)
+            << pin.workload << "/" << pin.control;
+        EXPECT_EQ(result.jobs, pin.jobs)
+            << pin.workload << "/" << pin.control;
+    }
+}
+
+void
+fnvMix(std::uint64_t &hash, std::uint64_t value)
+{
+    hash ^= value;
+    hash *= 1099511628211ull;
+}
+
+std::uint64_t
+doubleBits(double value)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    return bits;
+}
+
+void
+hashEpochStream(std::uint64_t &hash, const std::vector<EpochReport> &epochs)
+{
+    for (const EpochReport &epoch : epochs) {
+        fnvMix(hash, doubleBits(epoch.policy.frequency));
+        fnvMix(hash,
+               static_cast<std::uint64_t>(epoch.policy.plan.deepest()));
+        fnvMix(hash, static_cast<std::uint64_t>(epoch.policy.plan.size()));
+        fnvMix(hash, (epoch.decided ? 1u : 0u) |
+                         (epoch.feasible ? 2u : 0u) |
+                         (epoch.boosted ? 4u : 0u));
+    }
+}
+
+TEST(NoFaultPin, DecisionStreamsMatchTheFaultFreeRuntimeBitForBit)
+{
+    // Whole-run totals can mask compensating decision changes; this
+    // pin hashes every epoch's (frequency, sleep plan, flags) across
+    // both control modes and all three Table 5 workloads.
+    const struct
+    {
+        const char *workload;
+        const char *control;
+        std::uint64_t hash;
+    } decisionPins[] = {
+        {"dns", "farm-wide", 16696251915500299262ull},
+        {"dns", "per-server", 4471223357707459165ull},
+        {"mail", "farm-wide", 5281247639333244743ull},
+        {"mail", "per-server", 18245108240386715353ull},
+        {"google", "farm-wide", 1303420475129017184ull},
+        {"google", "per-server", 6077832704634492465ull},
+    };
+
+    for (const auto &pin : decisionPins) {
+        const ScenarioSpec spec = pinSpec(pin.workload, pin.control);
+        const WorkloadSpec workload = workloadByName(spec.workload);
+        const PlatformModel platform = platformByName(spec.platform);
+        FarmRuntimeConfig config;
+        config.farmSize = spec.farmSize;
+        config.dispatcher = spec.dispatcher;
+        config.packingSpillBacklog = spec.packingSpillBacklog;
+        config.dispatchSeed = mixSeed(spec.seed);
+        config.control = spec.farmControl;
+        config.platforms = spec.farmPlatforms;
+        config.decisionThreads = spec.decisionThreads;
+        StrategyKnobs knobs;
+        knobs.epochMinutes = spec.epochMinutes;
+        knobs.overProvision = spec.overProvision;
+        knobs.rhoB = spec.rhoB;
+        knobs.qosMetric = spec.qosMetric;
+        knobs.searchThreads = spec.searchThreads;
+        knobs.prunedSearch = spec.prunedSearch;
+        config.perServer = strategyConfigByName(spec.strategy, knobs);
+
+        const UtilizationTrace trace = spec.trace.realize();
+        FarmRuntime runtime(platform, workload, config);
+        const auto source =
+            makeFarmSource(workload, trace, spec.farmSize, spec.seed);
+        const auto predictor = makePredictor(
+            spec.predictor, spec.predictorHistory, trace.values());
+        const FarmRuntimeResult result =
+            runtime.run(*source, trace, *predictor);
+
+        std::uint64_t hash = 1469598103934665603ull;
+        hashEpochStream(hash, result.epochs);
+        for (const FarmServerReport &server : result.servers) {
+            hashEpochStream(hash, server.epochs);
+            fnvMix(hash, doubleBits(server.total.energy));
+            fnvMix(hash, server.jobsRouted);
+        }
+        fnvMix(hash, doubleBits(result.total.energy));
+        EXPECT_EQ(hash, pin.hash)
+            << pin.workload << "/" << pin.control;
+
+        // A fault-free run reports a clean availability plane.
+        EXPECT_EQ(result.faults.dropped, 0u);
+        EXPECT_EQ(result.faults.retries, 0u);
+        EXPECT_EQ(result.faults.degradedEpochs, 0u);
+        EXPECT_DOUBLE_EQ(result.faults.downSeconds, 0.0);
+        EXPECT_DOUBLE_EQ(result.faults.availability(spec.farmSize), 1.0);
+        EXPECT_DOUBLE_EQ(result.faults.goodput(), 1.0);
+        expectConservation(result);
+    }
+}
+
+// ------------------------------------------------- paired replication
+
+TEST(FaultReplication, PairedComparisonQuantifiesOutageCost)
+{
+    // The acceptance experiment in miniature: N replications of a
+    // correlated-outage farm against its no-fault twin under common
+    // random numbers. correlatedGroup defaults to 2, so a 2-server
+    // farm sees full-farm outages and must exercise the retry path.
+    ScenarioSpec faulty = ScenarioBuilder("faults(correlated)")
+                              .engine(EngineKind::Farm)
+                              .workload("dns")
+                              .flatTrace(0.3, 45)
+                              .farmSize(2)
+                              .epochMinutes(5)
+                              .seed(7)
+                              .faults("correlated")
+                              .faultRates(900.0, 120.0)
+                              .retryBackoff(0.5)
+                              .dropTimeout(240.0)
+                              .build();
+    ScenarioSpec clean = faulty;
+    clean.label = "no-fault";
+    clean.faults = "none";
+
+    const ReplicationPlan plan(5, 0);
+    const PairedComparison comparison = plan.comparePaired(faulty, clean);
+
+    EXPECT_LT(comparison.a.metric("availability").mean(), 1.0);
+    EXPECT_GT(comparison.a.metric("availability").mean(), 0.5);
+    EXPECT_GT(comparison.a.metric("retries").mean(), 0.0);
+    EXPECT_GT(comparison.a.metric("down_s").mean(), 0.0);
+
+    // The no-fault arm is pristine: full availability, no retries,
+    // perfect goodput — in every replication, not just on average.
+    EXPECT_DOUBLE_EQ(comparison.b.metric("availability").mean(), 1.0);
+    EXPECT_DOUBLE_EQ(comparison.b.metric("retries").stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(comparison.b.metric("retries").mean(), 0.0);
+    EXPECT_DOUBLE_EQ(comparison.b.metric("goodput").mean(), 1.0);
+
+    // Paired deltas (faulty minus clean) carry the outage cost with
+    // common random numbers cancelling the stream-to-stream noise.
+    EXPECT_LT(comparison.delta("availability").mean(), 0.0);
+    EXPECT_GT(comparison.delta("down_s").mean(), 0.0);
+    ASSERT_EQ(comparison.a.replications.size(), 5u);
+    ASSERT_EQ(comparison.b.replications.size(), 5u);
+}
+
+} // namespace
+} // namespace sleepscale

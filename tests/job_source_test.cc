@@ -366,6 +366,91 @@ TEST(ReplaySource, MissingFileFailsFast)
     EXPECT_THROW(ReplaySource("/nonexistent/jobs.csv"), ConfigError);
 }
 
+// Regression: the terminated and unterminated spellings of the same
+// log must replay identically through every observable path — drain,
+// reset, and clones taken at every position, including right after the
+// final (unterminated) row was consumed.
+TEST(ReplaySource, TrailingPartialLineIsConsistentWithTerminatedTwin)
+{
+    const std::string body = "arrival,size\n1,0.1\n2,0.2\n3,0.3";
+    const std::string with_nl =
+        writeTempCsv("replay_nl.csv", body + "\n");
+    const std::string without_nl = writeTempCsv("replay_nonl.csv", body);
+
+    ReplaySource a(with_nl);
+    ReplaySource b(without_nl);
+    const auto all_a = drain(a);
+    expectSameJobs(all_a, drain(b));
+    ASSERT_EQ(all_a.size(), 3u);
+
+    // Clones at every position, including after the final row.
+    for (std::size_t consumed = 0; consumed <= 3; ++consumed) {
+        a.reset(0);
+        b.reset(0);
+        Job job;
+        for (std::size_t i = 0; i < consumed; ++i) {
+            ASSERT_TRUE(a.next(job));
+            ASSERT_TRUE(b.next(job));
+        }
+        expectSameJobs(drain(*a.clone()), drain(*b.clone()));
+    }
+
+    // Clones taken after exhaustion stay exhausted on both twins.
+    a.reset(0);
+    b.reset(0);
+    drain(a);
+    drain(b);
+    Job job;
+    EXPECT_FALSE(a.clone()->next(job));
+    EXPECT_FALSE(b.clone()->next(job));
+
+    std::remove(with_nl.c_str());
+    std::remove(without_nl.c_str());
+}
+
+TEST(ReplaySource, SkipsCommentLinesAnywhere)
+{
+    const std::string path = writeTempCsv(
+        "replay_comments.csv", "# exported job log\n"
+                               "# schema v2\n"
+                               "arrival,size\n"
+                               "1,0.1\n"
+                               "# mid-file remark\n"
+                               "2,0.2\n");
+    ReplaySource source(path);
+    const auto jobs = drain(source);
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_DOUBLE_EQ(jobs[1].arrival, 2.0);
+    std::remove(path.c_str());
+}
+
+// Regression: a log that yields nothing must say so instead of
+// silently streaming zero jobs into a day-long run.
+TEST(ReplaySource, EmptyCommentOnlyAndHeaderOnlyLogsFailFast)
+{
+    const auto expectNoRows = [](const std::string &name,
+                                 const std::string &content) {
+        const std::string path = writeTempCsv(name, content);
+        const std::string message = configErrorOf([&] {
+            ReplaySource source(path);
+            Job job;
+            while (source.next(job)) {
+            }
+        });
+        EXPECT_NE(message.find("no data rows"), std::string::npos)
+            << name << " message was: " << message;
+        std::remove(path.c_str());
+    };
+
+    expectNoRows("replay_empty.csv", "");
+    expectNoRows("replay_blank.csv", "\n\n");
+    expectNoRows("replay_comment_only.csv", "# nothing here\n# at all\n");
+    expectNoRows("replay_header_nl.csv", "arrival,size\n");
+    expectNoRows("replay_header_nonl.csv", "arrival,size");
+    expectNoRows("replay_header_comments.csv",
+                 "# log\narrival,size\n# empty\n");
+}
+
 // -------------------------------------------------------------- registry
 
 TEST(JobSourceRegistry, BuildsEveryRegisteredSource)

@@ -26,9 +26,13 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "analytic/mm1_sleep.hh"
 #include "core/predictor.hh"
 #include "core/runtime.hh"
+#include "farm/farm_runtime.hh"
+#include "fault/fault_source.hh"
 #include "power/platform_model.hh"
 #include "sim/server_sim.hh"
 #include "util/rng.hh"
@@ -388,6 +392,241 @@ TEST_P(SourceFuzz, StreamingMatchesMaterializedThroughEngine)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SourceFuzz,
                          ::testing::Range<std::uint64_t>(1, 17));
+
+// -------------------------------------- fault-schedule fuzz (FaultFuzz)
+
+// The availability-plane half of the fuzzer (docs/FAULTS.md). These
+// cases are registered as their own fast ctest entry ("fault_fuzz",
+// labels integration+fault) so the ASan and TSan jobs run them without
+// paying for the statistical suites above.
+
+/** A random fault-source configuration for a random family. */
+std::unique_ptr<FaultSource>
+randomFaultSource(Rng &rng, std::size_t farm_size, std::string *family)
+{
+    FaultSourceConfig config;
+    config.farmSize = farm_size;
+    config.mtbf = rng.uniform(300.0, 1200.0);
+    config.mttr = rng.uniform(30.0, 180.0);
+    config.correlatedGroup = 1 + rng.uniformInt(farm_size);
+    config.seed = rng.next();
+    switch (rng.uniformInt(3)) {
+      case 0:
+        *family = "mtbf";
+        break;
+      case 1:
+        *family = "correlated";
+        break;
+      default: {
+        *family = "scripted";
+        double clock = 0.0;
+        std::vector<char> down(farm_size, 0);
+        const std::size_t events = 2 + rng.uniformInt(20);
+        for (std::size_t i = 0; i < events; ++i) {
+            clock += rng.uniform(0.0, 300.0);
+            const auto server = rng.uniformInt(farm_size);
+            config.script.push_back(
+                {clock, server, down[server] == 0});
+            down[server] = down[server] == 0 ? 1 : 0;
+        }
+        break;
+      }
+    }
+    return makeFaultSource(*family, config);
+}
+
+bool
+sameFaultEvents(const std::vector<FaultEvent> &a,
+                const std::vector<FaultEvent> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].time != b[i].time || a[i].server != b[i].server ||
+            a[i].down != b[i].down)
+            return false;
+    }
+    return true;
+}
+
+class FaultFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FaultFuzz, ResetAndCloneAreDeterministic)
+{
+    Rng rng(GetParam() * 2654435761ULL + 1);
+    for (int round = 0; round < 8; ++round) {
+        const std::size_t farm_size = 1 + rng.uniformInt(5);
+        std::string family;
+        const std::uint64_t seed = rng.next();
+        const auto source = randomFaultSource(rng, farm_size, &family);
+
+        source->reset(seed);
+        const auto events = materializeFaults(*source, 20000.0, 2000);
+        // Equal seeds reproduce the schedule bit-for-bit.
+        source->reset(seed);
+        EXPECT_TRUE(sameFaultEvents(
+            events, materializeFaults(*source, 20000.0, 2000)))
+            << family << " seed " << seed;
+
+        // Non-decreasing times, in-range servers — for any schedule.
+        double last = 0.0;
+        for (const FaultEvent &event : events) {
+            EXPECT_GE(event.time, last) << family;
+            EXPECT_LT(event.server, farm_size) << family;
+            last = event.time;
+        }
+
+        // A clone taken after a random partial drain continues the
+        // original's stream exactly.
+        source->reset(seed);
+        FaultEvent sink;
+        const std::size_t consumed =
+            rng.uniformInt(events.size() + 1);
+        for (std::size_t i = 0; i < consumed; ++i)
+            ASSERT_TRUE(source->next(sink));
+        const auto clone = source->clone();
+        EXPECT_TRUE(sameFaultEvents(
+            materializeFaults(*clone, 20000.0, 2000),
+            materializeFaults(*source, 20000.0, 2000)))
+            << family << " after " << consumed;
+    }
+}
+
+/**
+ * One short fault-injected farm run over a Table 5 workload. The
+ * scenario shape (workload, trace, farm, control) is drawn from `rng`;
+ * the fault knobs are drawn from `knob_seed` separately so tests can
+ * vary the knobs while holding the scenario fixed.
+ */
+FarmRuntimeResult
+runFuzzFarm(Rng &rng, const std::string &faults, std::uint64_t seed,
+            std::uint64_t knob_seed)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const WorkloadSpec workload = rng.uniformInt(2) == 0
+                                      ? dnsWorkload()
+                                      : mailWorkload();
+    const UtilizationTrace trace(
+        "flat",
+        std::vector<double>(15 + rng.uniformInt(10),
+                            rng.uniform(0.1, 0.35)));
+
+    FarmRuntimeConfig config;
+    config.farmSize = 2 + rng.uniformInt(2);
+    config.control =
+        rng.uniformInt(2) == 0 ? "farm-wide" : "per-server";
+    config.dispatchSeed = mixSeed(seed);
+    config.perServer.epochMinutes = 5;
+    config.faults = faults;
+    config.faultSeed = mixSeed(mixSeed(seed));
+
+    // Knobs are always populated — an inactive ("none") fault layer
+    // must ignore every one of them.
+    Rng knobs(knob_seed);
+    config.mtbf = knobs.uniform(300.0, 900.0);
+    config.mttr = knobs.uniform(30.0, 150.0);
+    config.correlatedGroup = 1 + knobs.uniformInt(config.farmSize);
+    config.retryBackoff = knobs.uniform(0.25, 4.0);
+    config.retryBackoffCap = knobs.uniform(10.0, 60.0);
+    config.dropTimeout = knobs.uniform(60.0, 300.0);
+    config.recoverySeconds = knobs.uniform(0.0, 30.0);
+
+    FarmRuntime runtime(xeon, workload, config);
+    const auto source =
+        makeFarmSource(workload, trace, config.farmSize, seed);
+    const auto predictor = makePredictor("NP", 10, trace.values());
+    return runtime.run(*source, trace, *predictor);
+}
+
+TEST_P(FaultFuzz, ConservationHoldsAtEveryEpochClose)
+{
+    Rng rng(GetParam() * 2654435761ULL + 2);
+    for (const char *faults : {"mtbf", "correlated"}) {
+        Rng scenario(rng.next());
+        const FarmRuntimeResult result =
+            runFuzzFarm(scenario, faults, GetParam() + 31,
+                        GetParam() + 57);
+
+        // offered == completed + dropped + in-flight at every epoch
+        // close, with cumulative counters non-decreasing throughout.
+        ASSERT_FALSE(result.epochFaults.empty()) << faults;
+        FarmFaultStats previous;
+        for (const FarmFaultStats &snap : result.epochFaults) {
+            EXPECT_EQ(snap.offered,
+                      snap.completed + snap.dropped + snap.inFlight)
+                << faults << " at " << snap.elapsedSeconds;
+            EXPECT_LE(snap.admitted, snap.offered) << faults;
+            EXPECT_LE(snap.completed, snap.admitted) << faults;
+            EXPECT_GE(snap.offered, previous.offered) << faults;
+            EXPECT_GE(snap.completed, previous.completed) << faults;
+            EXPECT_GE(snap.dropped, previous.dropped) << faults;
+            EXPECT_GE(snap.retries, previous.retries) << faults;
+            EXPECT_GE(snap.downSeconds, previous.downSeconds) << faults;
+            EXPECT_GE(snap.elapsedSeconds, previous.elapsedSeconds)
+                << faults;
+            const double availability = snap.availability(
+                result.jobsPerServer.size());
+            EXPECT_GE(availability, 0.0) << faults;
+            EXPECT_LE(availability, 1.0) << faults;
+            previous = snap;
+        }
+
+        // The run drains: every offered job completed or dropped.
+        EXPECT_EQ(result.faults.inFlight, 0u) << faults;
+        EXPECT_EQ(result.faults.offered,
+                  result.faults.completed + result.faults.dropped)
+            << faults;
+        EXPECT_EQ(result.faults.completed, result.total.completions)
+            << faults;
+    }
+}
+
+TEST_P(FaultFuzz, NoFaultRunsAreCleanDeterministicAndKnobBlind)
+{
+    // faults == "none" must reproduce the fault-free runtime: the
+    // availability plane stays pristine, two runs of the same scenario
+    // agree bit-for-bit even with completely different fault knobs
+    // (rates, backoff, deadlines) — an inactive layer must ignore them
+    // all. The cross-check against the pre-fault-layer runtime itself
+    // is pinned by tests/farm_fault_test.cc.
+    Rng rng(GetParam() * 2654435761ULL + 3);
+    const std::uint64_t scenario_seed = rng.next();
+    Rng first(scenario_seed);
+    const FarmRuntimeResult a =
+        runFuzzFarm(first, "none", GetParam() + 7, 1);
+    Rng second(scenario_seed);
+    const FarmRuntimeResult b =
+        runFuzzFarm(second, "none", GetParam() + 7, 999);
+
+    EXPECT_EQ(a.total.completions, b.total.completions);
+    EXPECT_EQ(a.total.arrivals, b.total.arrivals);
+    EXPECT_EQ(a.total.energy, b.total.energy);
+    EXPECT_EQ(a.total.busyTime, b.total.busyTime);
+    ASSERT_EQ(a.epochs.size(), b.epochs.size());
+    for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+        EXPECT_EQ(a.epochs[i].policy.frequency,
+                  b.epochs[i].policy.frequency) << i;
+        EXPECT_EQ(a.epochs[i].degraded, b.epochs[i].degraded) << i;
+    }
+
+    const FarmFaultStats &clean = a.faults;
+    EXPECT_EQ(clean.offered, clean.completed);
+    EXPECT_EQ(clean.dropped, 0u);
+    EXPECT_EQ(clean.retries, 0u);
+    EXPECT_EQ(clean.inFlight, 0u);
+    EXPECT_EQ(clean.degradedEpochs, 0u);
+    EXPECT_DOUBLE_EQ(clean.downSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(clean.degradedSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(clean.availability(a.jobsPerServer.size()), 1.0);
+    EXPECT_DOUBLE_EQ(clean.goodput(), 1.0);
+    for (const EpochReport &epoch : a.epochs)
+        EXPECT_FALSE(epoch.degraded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz,
+                         ::testing::Range<std::uint64_t>(1, 7));
 
 } // namespace
 } // namespace sleepscale

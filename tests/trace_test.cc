@@ -122,6 +122,33 @@ TEST(UtilizationTrace, LoadRejectsMalformedCsvWithLineNumbers)
     expectLoadError("minute,utilization\n0,oops\n", "non-numeric");
     expectLoadError("minute,load\n0,0.2\n", "no 'utilization' column");
     expectLoadError("minute,utilization\n0\n", "expected 2 cells");
+
+    // Degenerate files get actionable messages instead of a silently
+    // empty trace or a confusing header complaint.
+    expectLoadError("", "no header row");
+    expectLoadError("\n\n", "no header row");
+    expectLoadError("# only a comment\n# and another\n", "no header row");
+    expectLoadError("minute,utilization\n", "no data rows");
+    expectLoadError("minute,utilization", "no data rows");
+    expectLoadError("# saved trace\nminute,utilization\n# empty\n",
+                    "no data rows");
+}
+
+TEST(UtilizationTrace, LoadSkipsCommentLines)
+{
+    const std::string path = "/tmp/sleepscale_trace_comments.csv";
+    {
+        std::ofstream out(path);
+        out << "# exported by trace tooling\n"
+               "minute,utilization\n"
+               "0,0.25\n"
+               "# midnight marker\n"
+               "1,0.5\n";
+    }
+    const UtilizationTrace loaded = UtilizationTrace::load(path);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_DOUBLE_EQ(loaded.at(1), 0.5);
+    std::remove(path.c_str());
 }
 
 // ----------------------------------------------------- synthetic traces

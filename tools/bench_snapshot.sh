@@ -1,6 +1,6 @@
 #!/bin/sh
-# Snapshot the policy-evaluation benchmark suite into the repo so the
-# perf trajectory is tracked in version control from PR 2 onward.
+# Snapshot the benchmark suites into the repo so the perf/robustness
+# trajectory is tracked in version control from PR 2 onward.
 #
 #   tools/bench_snapshot.sh [build-dir]
 #
@@ -8,6 +8,12 @@
 # BENCH_policy_eval.json at the repo root. Compare snapshots across
 # commits to spot regressions in BM_SelectFromLog / BM_EvaluatePolicy10k.
 # BENCH_MIN_TIME (seconds per benchmark) tunes fidelity vs runtime.
+#
+# Also runs bench_farm_faults --json into BENCH_farm_faults.json: the
+# goodput and energy-per-job overhead of server churn at {0%, 0.1%, 1%}
+# (docs/FAULTS.md). A drift in the churn=0 row means the fault layer
+# leaked into the fault-free path — the farm_fault_test pins should
+# have caught it first.
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -24,3 +30,12 @@ fi
          --benchmark_format=json \
          > "$repo_root/BENCH_policy_eval.json"
 echo "wrote $repo_root/BENCH_policy_eval.json"
+
+faults_bench="$build_dir/bench_farm_faults"
+if [ ! -x "$faults_bench" ]; then
+    echo "error: $faults_bench not built; run tools/ci.sh" >&2
+    exit 1
+fi
+
+"$faults_bench" --json > "$repo_root/BENCH_farm_faults.json"
+echo "wrote $repo_root/BENCH_farm_faults.json"

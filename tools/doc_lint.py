@@ -23,7 +23,8 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_GLOBS = ("src/farm/*.hh", "src/experiment/*.hh")
+DEFAULT_GLOBS = ("src/farm/*.hh", "src/experiment/*.hh",
+                 "src/fault/*.hh")
 
 ACCESS_RE = re.compile(r"^\s*(public|protected|private)\s*:")
 TYPE_OPEN_RE = re.compile(

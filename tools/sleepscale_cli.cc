@@ -22,6 +22,9 @@
  *                     [--platform xeon] [--platforms xeon,atom,...]
  *                     [--decision-threads 0] [--trace es|fs]
  *                     [--workload dns] [--T 5] [--alpha 0.35] [--seed 1]
+ *                     [--faults none|mtbf|correlated] [--mtbf 14400]
+ *                     [--mttr 300] [--retry-backoff 1]
+ *                     [--drop-timeout 300] [--fault-compare]
  *   sleepscale grid   [--engine single|farm] [--sweep-T 1,5,10]
  *                     [--sweep-predictor LC,NP] [--sweep-strategy ...]
  *                     [--sweep-dispatcher ...] [--sweep-servers ...]
@@ -57,6 +60,7 @@
 #include "experiment/replication.hh"
 #include "experiment/runner.hh"
 #include "farm/dispatcher.hh"
+#include "fault/fault_source.hh"
 #include "util/cli_args.hh"
 #include "util/error.hh"
 #include "util/table_printer.hh"
@@ -79,6 +83,8 @@ const std::set<std::string> knownOptions = {
     "source",     "replay",     "util",       "burst-factor",
     "burst-len",  "burst-gap",  "platform",   "platforms",
     "control",    "decision-threads", "replications",
+    "faults",     "mtbf",       "mttr",       "retry-backoff",
+    "drop-timeout", "fault-compare",
 };
 
 QosMetric
@@ -151,6 +157,11 @@ scenarioFromArgs(const CliArgs &args, EngineKind engine)
         .dispatcher(args.get("dispatcher", "packing"))
         .farmControl(args.get("control", "farm-wide"))
         .decisionThreads(args.getUnsigned("decision-threads", 0))
+        .faults(args.get("faults", "none"))
+        .faultRates(args.getDouble("mtbf", 4.0 * 3600.0),
+                    args.getDouble("mttr", 300.0))
+        .retryBackoff(args.getDouble("retry-backoff", 1.0))
+        .dropTimeout(args.getDouble("drop-timeout", 300.0))
         .replications(args.getUnsigned("replications", 1))
         .seed(args.getUnsigned("seed", 1));
     // --platforms xeon,xeon,atom,atom names one platform per server
@@ -348,11 +359,59 @@ cmdTrace(const CliArgs &args)
     return 0;
 }
 
+/**
+ * Paired fault-vs-no-fault comparison under common random numbers:
+ * both arms replay identical job streams, dispatch choices, and (in
+ * the fault arm) replication-seed-derived fault schedules, so the
+ * printed deltas isolate the cost of the injected outages.
+ */
+int
+cmdFaultCompare(const ScenarioSpec &spec, const CliArgs &args)
+{
+    fatalIf(spec.faults == "none",
+            "farm: --fault-compare needs a fault source "
+            "(--faults mtbf | correlated | scripted)");
+    fatalIf(spec.replications < 2,
+            "farm: --fault-compare needs --replications >= 2 for "
+            "paired confidence intervals (the paper-style runs use 5)");
+
+    ScenarioSpec faulty = spec;
+    faulty.label = "faults(" + spec.faults + ")";
+    ScenarioSpec clean = spec;
+    clean.faults = "none";
+    clean.label = "no-fault";
+
+    const ReplicationPlan plan(spec.replications,
+                               args.getUnsigned("threads", 0));
+    const PairedComparison comparison =
+        plan.comparePaired(faulty, clean);
+
+    std::cout << "paired fault vs no-fault ("
+              << comparison.a.replications.size()
+              << " replications, common random numbers; faults: "
+              << spec.faults << ")\n"
+              << "availability:  "
+              << comparison.a.metric("availability").toString() << '\n'
+              << "goodput:       "
+              << comparison.a.metric("goodput").toString() << '\n'
+              << "dropped jobs:  "
+              << comparison.a.metric("dropped_jobs").toString() << '\n'
+              << "retries:       "
+              << comparison.a.metric("retries").toString() << '\n'
+              << "degraded time: "
+              << comparison.a.metric("degraded_s").toString()
+              << " s\n\n";
+    pairedTable(comparison).print(std::cout);
+    return 0;
+}
+
 int
 cmdFarm(const CliArgs &args)
 {
     const ScenarioSpec spec =
         scenarioFromArgs(args, EngineKind::Farm).build();
+    if (args.has("fault-compare"))
+        return cmdFaultCompare(spec, args);
     if (spec.replications > 1) {
         const ReplicatedResult replicated =
             ExperimentRunner::runReplicated(
@@ -377,7 +436,18 @@ cmdFarm(const CliArgs &args)
               << "farm power:    " << result.avgPower << " W  ("
               << result.extra("per_server_w") << " W/server)\n"
               << "within budget: "
-              << (result.withinBudget ? "yes" : "no") << "\n\n";
+              << (result.withinBudget ? "yes" : "no") << '\n';
+    if (spec.faults != "none") {
+        std::cout << "availability:  " << result.extra("availability")
+                  << "  (down " << result.extra("down_s") << " s)\n"
+                  << "goodput:       " << result.extra("goodput")
+                  << "  (" << result.extra("dropped_jobs")
+                  << " dropped, " << result.extra("retries")
+                  << " retries)\n"
+                  << "degraded time: " << result.extra("degraded_s")
+                  << " s\n";
+    }
+    std::cout << '\n';
     serversTable(result).print(std::cout);
     return 0;
 }
@@ -486,10 +556,16 @@ printUsage()
         "  dispatchers: " + dispatcherRegistry().namesCsv() + "\n"
         "  platforms:   " + platformRegistry().namesCsv() + "\n"
         "  job sources: " + jobSourceRegistry().namesCsv() + "\n"
+        "  fault sources: " + faultSourceRegistry().namesCsv() + "\n"
         "\n"
         "farm control modes: farm-wide (one thinned-log decision for\n"
         "all servers) | per-server (autonomous per-server decisions;\n"
         "required for heterogeneous --platforms mixes)\n"
+        "\n"
+        "farm fault injection (docs/FAULTS.md): --faults mtbf|correlated\n"
+        "[--mtbf s] [--mttr s] [--retry-backoff s] [--drop-timeout s];\n"
+        "--fault-compare with --replications N prints paired\n"
+        "fault-vs-no-fault deltas under common random numbers\n"
         "\n"
         "run/farm/grid take --replications N to replicate under\n"
         "derived seeds and print mean ± 95% confidence intervals\n"
