@@ -1,0 +1,58 @@
+#include "control/kalman_estimator.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace sleepscale {
+
+KalmanEstimator::KalmanEstimator(double process_noise,
+                                 double measurement_noise,
+                                 double initial_estimate,
+                                 double initial_variance)
+    : _q(process_noise), _r(measurement_noise),
+      _initialEstimate(initial_estimate),
+      _initialVariance(initial_variance), _xHat(initial_estimate),
+      _p(initial_variance)
+{
+    fatalIf(!(_q >= 0.0),
+            "KalmanEstimator: process noise must be >= 0");
+    fatalIf(!(_r > 0.0),
+            "KalmanEstimator: measurement noise must be > 0");
+    fatalIf(!(_p >= 0.0),
+            "KalmanEstimator: initial variance must be >= 0");
+}
+
+double
+KalmanEstimator::update(double measurement, double observation_gain)
+{
+    const double h = observation_gain;
+    const double x_minus = _xHat;
+    const double p_minus = _p + _q;
+    _k = p_minus * h / (h * h * p_minus + _r);
+    _xHat = x_minus + _k * (measurement - h * x_minus);
+    _p = (1.0 - _k * h) * p_minus;
+    return _xHat;
+}
+
+void
+KalmanEstimator::reset()
+{
+    _xHat = _initialEstimate;
+    _p = _initialVariance;
+    _k = 0.0;
+}
+
+double
+KalmanEstimator::steadyStateGain(double process_noise,
+                                 double measurement_noise)
+{
+    fatalIf(!(process_noise >= 0.0 && measurement_noise > 0.0),
+            "KalmanEstimator::steadyStateGain: need Q >= 0, R > 0");
+    const double q = process_noise;
+    const double r = measurement_noise;
+    const double p_minus = q / 2.0 + std::sqrt(q * q / 4.0 + q * r);
+    return p_minus / (p_minus + r);
+}
+
+} // namespace sleepscale

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Scalar Kalman filter over per-epoch measurements.
+ *
+ * The estimation shape follows POET's filter_state (SNIPPETS.md): a
+ * one-dimensional state x with identity dynamics, observed each epoch
+ * through a known (possibly time-varying) gain h as y = h·x + noise.
+ * One update() is five multiply-adds — the filter is what makes the
+ * controller's per-epoch cost O(1) regardless of how many jobs the
+ * epoch logged. Equations and tuning guidance: docs/CONTROL.md.
+ */
+
+#ifndef SLEEPSCALE_CONTROL_KALMAN_ESTIMATOR_HH
+#define SLEEPSCALE_CONTROL_KALMAN_ESTIMATOR_HH
+
+namespace sleepscale {
+
+/**
+ * One-state Kalman filter:
+ *
+ *   predict:  x⁻ = x̂,  p⁻ = p + Q
+ *   gain:     k  = p⁻·h / (h²·p⁻ + R)
+ *   correct:  x̂  = x⁻ + k·(y − h·x⁻),  p = (1 − k·h)·p⁻
+ *
+ * Deterministic: the trajectory is a pure function of the constructor
+ * arguments and the update() sequence.
+ */
+class KalmanEstimator
+{
+  public:
+    /**
+     * @param process_noise Process-noise variance Q (>= 0).
+     * @param measurement_noise Measurement-noise variance R (> 0).
+     * @param initial_estimate Prior state estimate x̂₀.
+     * @param initial_variance Prior error variance p₀ (>= 0); large
+     *        values make the first measurements dominate the prior.
+     */
+    KalmanEstimator(double process_noise, double measurement_noise,
+                    double initial_estimate = 0.0,
+                    double initial_variance = 1.0);
+
+    /**
+     * Fold in one measurement y observed through gain h and return the
+     * updated estimate.
+     *
+     * @param measurement The observation y.
+     * @param observation_gain The known gain h relating state to
+     *        observation (1 for direct measurements).
+     */
+    double update(double measurement, double observation_gain = 1.0);
+
+    /** Current state estimate x̂. */
+    double estimate() const { return _xHat; }
+
+    /** Kalman gain k of the most recent update (0 before any). */
+    double gain() const { return _k; }
+
+    /** Current error variance p. */
+    double variance() const { return _p; }
+
+    /** Restore the freshly constructed prior. */
+    void reset();
+
+    /**
+     * Closed-form steady-state Kalman gain for constant h = 1: with
+     * p⁻_ss = Q/2 + sqrt(Q²/4 + Q·R) the positive root of the scalar
+     * Riccati recurrence, k_ss = p⁻_ss / (p⁻_ss + R). The unit-test
+     * oracle the iterated filter must converge to.
+     */
+    static double steadyStateGain(double process_noise,
+                                  double measurement_noise);
+
+  private:
+    double _q;
+    double _r;
+    double _initialEstimate;
+    double _initialVariance;
+    double _xHat;
+    double _p;
+    double _k = 0.0;
+};
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_CONTROL_KALMAN_ESTIMATOR_HH

@@ -56,6 +56,33 @@ PolicyManager::selectFromLogGuarded(const std::vector<Job> &log,
     return guarded;
 }
 
+bool
+PolicyManager::needsLog() const
+{
+    return true;
+}
+
+PolicyDecision
+PolicyManager::decide(const EpochObservation &, const std::vector<Job> &log)
+{
+    return selectFromLog(log);
+}
+
+PolicyManager::GuardedDecision
+PolicyManager::decideGuarded(const EpochObservation &,
+                             const std::vector<Job> &log,
+                             const Policy &fallback)
+{
+    return selectFromLogGuarded(log, fallback);
+}
+
+void
+PolicyManager::reset()
+{
+    // Selection is stateless across epochs; the engine's caches are
+    // keyed by inputs, so there is nothing to restore.
+}
+
 PolicyDecision
 PolicyManager::selectAnalytic(double lambda, double mu) const
 {

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/epoch_decider.hh"
 #include "core/eval_engine.hh"
 #include "core/policy_space.hh"
 #include "core/qos.hh"
@@ -30,8 +31,15 @@
 
 namespace sleepscale {
 
-/** Searches a PolicySpace for the minimum-power QoS-feasible policy. */
-class PolicyManager
+/**
+ * Searches a PolicySpace for the minimum-power QoS-feasible policy.
+ *
+ * The search-based EpochDecider: decide() delegates to selectFromLog()
+ * and ignores the scalar observation, so the runtimes drive the
+ * search path and the O(1) controller (control/controller_manager.hh)
+ * through one interface.
+ */
+class PolicyManager : public EpochDecider
 {
   public:
     /**
@@ -71,15 +79,10 @@ class PolicyManager
      */
     PolicyDecision selectAnalytic(double lambda, double mu) const;
 
-    /** Outcome of a degraded-mode-aware selection (docs/FAULTS.md). */
-    struct GuardedDecision
-    {
-        /** The selection, or the fallback dressed as one. */
-        PolicyDecision decision;
-
-        /** The manager fell back to the safe fixed policy. */
-        bool degraded = false;
-    };
+    /** Outcome of a degraded-mode-aware selection — the shared
+     * decider type (core/epoch_decider.hh), re-exported under its
+     * historical nested name. */
+    using GuardedDecision = sleepscale::GuardedDecision;
 
     /**
      * Degraded-mode selection contract (docs/FAULTS.md): search the log
@@ -98,6 +101,17 @@ class PolicyManager
      */
     GuardedDecision selectFromLogGuarded(const std::vector<Job> &log,
                                          const Policy &fallback) const;
+
+    bool needsLog() const override;
+
+    PolicyDecision decide(const EpochObservation &observation,
+                          const std::vector<Job> &log) override;
+
+    GuardedDecision decideGuarded(const EpochObservation &observation,
+                                  const std::vector<Job> &log,
+                                  const Policy &fallback) override;
+
+    void reset() override;
 
     /** The QoS constraint in force. */
     const QosConstraint &qos() const { return _engine->qos(); }

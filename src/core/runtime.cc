@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "control/controller_manager.hh"
 #include "util/error.hh"
+#include "util/monotonic_clock.hh"
 
 namespace sleepscale {
 
@@ -70,9 +72,17 @@ SleepScaleRuntime::SleepScaleRuntime(const PlatformModel &platform,
     fatalIf(_config.historyEpochs == 0,
             "SleepScaleRuntime: historyEpochs must be positive");
     if (!_config.fixedPolicy) {
-        _manager = std::make_unique<PolicyManager>(
-            _platform, _spec.scaling, _config.space, _qos,
-            _config.search);
+        if (_config.controller) {
+            _manager = std::make_unique<ControllerManager>(
+                _platform, _spec.scaling, _config.space, _qos,
+                *_config.controller, _config.initialPolicy);
+        } else {
+            auto manager = std::make_unique<PolicyManager>(
+                _platform, _spec.scaling, _config.space, _qos,
+                _config.search);
+            _searchManager = manager.get();
+            _manager = std::move(manager);
+        }
     }
 }
 
@@ -158,6 +168,9 @@ SleepScaleRuntime::run(JobSource &source, const UtilizationTrace &trace,
     std::vector<std::size_t> history_counts; // jobs per logged epoch
     bool last_epoch_within_budget = false;
     Policy current = _config.initialPolicy;
+    // Scalar measurements of the epoch that just closed, for log-free
+    // deciders (core/epoch_decider.hh).
+    EpochObservation observation;
 
     auto absorb_epoch_into_history = [&](const std::vector<Job> &jobs_in) {
         history_jobs.insert(history_jobs.end(), jobs_in.begin(),
@@ -209,6 +222,24 @@ SleepScaleRuntime::run(JobSource &source, const UtilizationTrace &trace,
                 last_epoch_within_budget =
                     epoch.stats.completions > 0 &&
                     _qos.satisfiedBy(epoch.stats);
+
+                observation.measuredUtilization =
+                    epoch.measuredUtilization;
+                observation.hasMeasurement =
+                    epoch.stats.completions > 0;
+                observation.measuredQos =
+                    observation.hasMeasurement
+                        ? _qos.measuredValue(epoch.stats)
+                        : 0.0;
+                observation.meanJobSize =
+                    epoch_jobs.empty()
+                        ? 0.0
+                        : epoch.measuredUtilization *
+                              static_cast<double>(epoch_len) *
+                              secondsPerMinute /
+                              static_cast<double>(epoch_jobs.size());
+                observation.applied = current;
+
                 result.epochs.push_back(epoch);
 
                 absorb_epoch_into_history(epoch_jobs);
@@ -227,12 +258,30 @@ SleepScaleRuntime::run(JobSource &source, const UtilizationTrace &trace,
                 current = *_config.fixedPolicy;
                 epoch.decided = true;
                 epoch.feasible = true;
-            } else if (!history_jobs.empty()) {
-                const std::vector<Job> log =
-                    buildEvalLog(history_jobs, predicted);
-                if (log.size() >= 2) {
+            } else {
+                observation.predictedUtilization = predicted;
+                // Log-based deciders need a thick-enough rescaled
+                // log; the O(1) controller skips log construction
+                // entirely and decides from the observation alone.
+                std::vector<Job> log;
+                bool ready = false;
+                if (_manager->needsLog()) {
+                    if (!history_jobs.empty()) {
+                        log = buildEvalLog(history_jobs, predicted);
+                        ready = log.size() >= 2;
+                    }
+                } else {
+                    ready = minute > 0;
+                }
+                if (ready) {
+                    const double decide_start =
+                        _config.recordDecisionTime ? monotonicMicros()
+                                                   : 0.0;
                     const PolicyDecision decision =
-                        _manager->selectFromLog(log);
+                        _manager->decide(observation, log);
+                    if (_config.recordDecisionTime)
+                        epoch.decisionMicros =
+                            monotonicMicros() - decide_start;
                     current = decision.policy;
                     epoch.feasible = decision.feasible;
                     epoch.decided = true;

@@ -27,6 +27,8 @@
 #include <optional>
 #include <vector>
 
+#include "control/controller_config.hh"
+#include "core/epoch_decider.hh"
 #include "core/policy_manager.hh"
 #include "core/policy_space.hh"
 #include "core/predictor.hh"
@@ -74,6 +76,17 @@ struct RuntimeConfig
      * characterization when epochs are short). */
     std::size_t historyEpochs = 3;
 
+    /** When set, decide per epoch with the O(1) feedback controller
+     * (control/controller_manager.hh, strategy "poet") instead of the
+     * candidate search; the search knobs above are then unused. */
+    std::optional<ControllerConfig> controller;
+
+    /** Record per-epoch decision wall time into
+     * EpochReport::decisionMicros. Telemetry only — decisions and
+     * simulated results are bit-identical either way — and off by
+     * default so result structs stay time-free. */
+    bool recordDecisionTime = false;
+
     /** When set, skip the policy manager entirely and run this policy
      * for the whole trace (race-to-halt baselines). */
     std::optional<Policy> fixedPolicy;
@@ -97,6 +110,9 @@ struct EpochReport
     /** The controller fell back to the safe fixed policy this epoch
      * (fault-injected farms only; see docs/FAULTS.md). */
     bool degraded = false;
+    /** Wall time the epoch's decision took, µs (recordDecisionTime
+     * runs only; 0 otherwise). */
+    double decisionMicros = 0.0;
     SimStats stats;                 ///< Epoch-windowed metrics.
 };
 
@@ -177,11 +193,16 @@ class SleepScaleRuntime
     /** The QoS constraint derived from the configuration. */
     const QosConstraint &qos() const { return _qos; }
 
-    /** The policy manager driving per-epoch decisions (absent for
-     * fixed-policy configurations). Persistent across epochs and runs,
-     * so the engine's materialized-plan cache and arenas are built
-     * once per runtime, not once per decision. */
-    const PolicyManager *manager() const { return _manager.get(); }
+    /** The search-based policy manager driving per-epoch decisions
+     * (null for fixed-policy and controller configurations).
+     * Persistent across epochs and runs, so the engine's
+     * materialized-plan cache and arenas are built once per runtime,
+     * not once per decision. */
+    const PolicyManager *manager() const { return _searchManager; }
+
+    /** The per-epoch decider — the search manager or the feedback
+     * controller (null for fixed-policy configurations). */
+    const EpochDecider *decider() const { return _manager.get(); }
 
   private:
     const PlatformModel &_platform;
@@ -189,10 +210,13 @@ class SleepScaleRuntime
     RuntimeConfig _config;
     QosConstraint _qos;
 
-    /** Persistent manager + evaluation engine (see manager()). Its
-     * internal arenas mutate during selection, so concurrent run()
-     * calls on one runtime instance are not safe. */
-    std::unique_ptr<PolicyManager> _manager;
+    /** Persistent decider (see manager()/decider()). Its internal
+     * state mutates during decisions, so concurrent run() calls on
+     * one runtime instance are not safe. */
+    std::unique_ptr<EpochDecider> _manager;
+
+    /** _manager, when it is the search path (see manager()). */
+    PolicyManager *_searchManager = nullptr;
 
     /**
      * Rebuild recently logged job events as an evaluation log with the

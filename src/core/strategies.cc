@@ -70,6 +70,21 @@ strategyRegistry()
                 return config;
             });
         }
+        // The O(1) feedback controller over the full SleepScale
+        // policy space (docs/CONTROL.md).
+        r.add("poet", [](const StrategyKnobs &knobs) {
+            RuntimeConfig config = makeStrategyConfig(
+                StrategyKind::SleepScale, knobs.epochMinutes,
+                knobs.overProvision, knobs.rhoB, knobs.qosMetric);
+            ControllerConfig controller;
+            controller.processNoise = knobs.controllerProcessNoise;
+            controller.measurementNoise =
+                knobs.controllerMeasurementNoise;
+            controller.pole = knobs.controllerPole;
+            controller.periodEpochs = knobs.controllerPeriodEpochs;
+            config.controller = controller;
+            return config;
+        });
         return r;
     }();
     return registry;

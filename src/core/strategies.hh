@@ -75,6 +75,22 @@ struct StrategyKnobs
     /** Binary-search the per-plan QoS feasibility boundary instead of
      * scanning the whole frequency grid (EvalEngineOptions::pruned). */
     bool prunedSearch = false;
+
+    /** Kalman process-noise variance Q of the "poet" controller
+     * (ControllerConfig::processNoise; docs/CONTROL.md). */
+    double controllerProcessNoise = 1e-4;
+
+    /** Kalman measurement-noise variance R of the "poet" controller
+     * (ControllerConfig::measurementNoise). */
+    double controllerMeasurementNoise = 1e-2;
+
+    /** Z-plane pole of the "poet" xup integrator, in [0, 1)
+     * (ControllerConfig::pole). */
+    double controllerPole = 0.0;
+
+    /** Control period of the "poet" strategy as a multiple of the
+     * epoch (ControllerConfig::periodEpochs). */
+    unsigned controllerPeriodEpochs = 1;
 };
 
 /** Factory signature stored in the strategy registry. */
@@ -83,7 +99,9 @@ using StrategyFactory = std::function<RuntimeConfig(const StrategyKnobs &)>;
 /**
  * The strategy registry. Ships with the paper's Figure 9 lineup — "SS",
  * "SS(C3)", "DVFS", "R2H(C3)", "R2H(C6)" — keyed by their toString()
- * labels; extensions register additional configurations under new names.
+ * labels, plus "poet", the O(1) Kalman-filtered feedback controller
+ * over the same policy space (docs/CONTROL.md); extensions register
+ * additional configurations under new names.
  */
 Registry<StrategyFactory> &strategyRegistry();
 

@@ -1,5 +1,6 @@
 #include "experiment/runner.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -38,7 +39,42 @@ knobsOf(const ScenarioSpec &spec)
     knobs.qosMetric = spec.qosMetric;
     knobs.searchThreads = spec.searchThreads;
     knobs.prunedSearch = spec.prunedSearch;
+    knobs.controllerProcessNoise = spec.controllerProcessNoise;
+    knobs.controllerMeasurementNoise = spec.controllerMeasurementNoise;
+    knobs.controllerPole = spec.controllerPole;
+    knobs.controllerPeriodEpochs = spec.controllerPeriod;
     return knobs;
+}
+
+/**
+ * Per-epoch decision-cost extras (recordDecisionTime() scenarios
+ * only, so timing-free runs keep their schema). The mean and p99 are
+ * taken over decided epochs; an all-undecided run reports zeros.
+ */
+void
+addDecisionExtras(ScenarioResult &result,
+                  const std::vector<EpochReport> &epochs)
+{
+    std::vector<double> samples;
+    samples.reserve(epochs.size());
+    for (const EpochReport &epoch : epochs) {
+        if (epoch.decided)
+            samples.push_back(epoch.decisionMicros);
+    }
+    double mean = 0.0;
+    double p99 = 0.0;
+    if (!samples.empty()) {
+        for (double sample : samples)
+            mean += sample;
+        mean /= static_cast<double>(samples.size());
+        std::sort(samples.begin(), samples.end());
+        const std::size_t index = static_cast<std::size_t>(
+            std::ceil(0.99 * static_cast<double>(samples.size())));
+        p99 = samples[std::min(index == 0 ? 0 : index - 1,
+                               samples.size() - 1)];
+    }
+    result.extras.emplace_back("decision_us_mean", mean);
+    result.extras.emplace_back("decision_us_p99", p99);
 }
 
 WorkloadSpec
@@ -98,8 +134,9 @@ runSingleServer(const ScenarioSpec &spec)
     const WorkloadSpec workload = workloadOf(spec);
     const UtilizationTrace trace = spec.trace.realize();
 
-    const RuntimeConfig config =
+    RuntimeConfig config =
         strategyConfigByName(spec.strategy, knobsOf(spec));
+    config.recordDecisionTime = spec.recordDecisionTime;
     const SleepScaleRuntime runtime(platform, workload, config);
 
     const auto source = sourceOf(spec, workload, trace, 1.0);
@@ -128,6 +165,8 @@ runSingleServer(const ScenarioSpec &spec)
             result.extras.emplace_back(
                 "state_" + toString(allLowPowerStates[i]), fractions[i]);
     }
+    if (spec.recordDecisionTime)
+        addDecisionExtras(result, run.epochs);
     if (spec.captureEpochs)
         result.epochs = epochsToCsv(run);
     return result;
@@ -161,6 +200,7 @@ runFarm(const ScenarioSpec &spec)
     // schedules per replication).
     config.faultSeed = mixSeed(config.dispatchSeed);
     config.perServer = strategyConfigByName(spec.strategy, knobsOf(spec));
+    config.perServer.recordDecisionTime = spec.recordDecisionTime;
     const FarmRuntime runtime(platform, workload, config);
 
     // The farm sees farm-size times the per-server trace load; replay
@@ -204,6 +244,11 @@ runFarm(const ScenarioSpec &spec)
                                run.faults.degradedSeconds);
     result.extras.emplace_back("down_s", run.faults.downSeconds);
     addResidencyExtras(result, run.total);
+    // Under per-server control the merged epochs carry server 0's
+    // decisionMicros, which times the whole decision fan-out — the
+    // farm-scale decision cost, not one server's.
+    if (spec.recordDecisionTime)
+        addDecisionExtras(result, run.epochs);
     result.jobsPerServer = run.jobsPerServer;
     result.servers.reserve(run.servers.size());
     for (const FarmServerReport &server : run.servers) {

@@ -87,6 +87,16 @@ ScenarioSpec::validate() const
                 "ScenarioSpec '" + label + "': epochMinutes must be >= 1");
         fatalIf(rhoB <= 0.0 || rhoB >= 1.0,
                 "ScenarioSpec '" + label + "': rhoB must be in (0, 1)");
+        fatalIf(controllerProcessNoise <= 0.0 ||
+                    controllerMeasurementNoise <= 0.0,
+                "ScenarioSpec '" + label +
+                    "': controller noise variances must be positive");
+        fatalIf(controllerPole < 0.0 || controllerPole >= 1.0,
+                "ScenarioSpec '" + label +
+                    "': controllerPole must be in [0, 1)");
+        fatalIf(controllerPeriod == 0,
+                "ScenarioSpec '" + label +
+                    "': controllerPeriod must be >= 1");
         break;
       case EngineKind::Multicore:
         fatalIf(cores == 0,
@@ -324,6 +334,35 @@ ScenarioBuilder &
 ScenarioBuilder::prunedSearch(bool on)
 {
     _spec.prunedSearch = on;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::controllerNoise(double process, double measurement)
+{
+    _spec.controllerProcessNoise = process;
+    _spec.controllerMeasurementNoise = measurement;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::controllerPole(double pole)
+{
+    _spec.controllerPole = pole;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::controllerPeriod(unsigned epochs)
+{
+    _spec.controllerPeriod = epochs;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::recordDecisionTime(bool on)
+{
+    _spec.recordDecisionTime = on;
     return *this;
 }
 

@@ -106,6 +106,18 @@ struct ScenarioSpec
     std::size_t searchThreads = 1;      ///< Policy-search fan-out width.
     bool prunedSearch = false;          ///< Prune the frequency scan.
 
+    // "poet" controller knobs (docs/CONTROL.md); ignored by the
+    // search strategies.
+    double controllerProcessNoise = 1e-4;   ///< Kalman Q (> 0).
+    double controllerMeasurementNoise = 1e-2; ///< Kalman R (> 0).
+    double controllerPole = 0.0;        ///< Xup integrator pole, [0, 1).
+    unsigned controllerPeriod = 1;      ///< Control period, epochs (>= 1).
+
+    /** Time each epoch decision (decision_us_* result extras). The
+     * reading never feeds simulated state, so metrics stay
+     * bit-identical whether or not it is enabled. */
+    bool recordDecisionTime = false;
+
     // Farm engine.
     std::size_t farmSize = 4;           ///< Back-end server count.
     std::string dispatcher = "random";  ///< Dispatcher registry name.
@@ -218,6 +230,14 @@ class ScenarioBuilder
     ScenarioBuilder &searchThreads(std::size_t threads);
     /** Binary-search the QoS feasibility boundary per plan. */
     ScenarioBuilder &prunedSearch(bool on = true);
+    /** "poet" Kalman noise variances Q and R (both > 0). */
+    ScenarioBuilder &controllerNoise(double process, double measurement);
+    /** "poet" xup integrator pole, in [0, 1). */
+    ScenarioBuilder &controllerPole(double pole);
+    /** "poet" control period as a multiple of the epoch (>= 1). */
+    ScenarioBuilder &controllerPeriod(unsigned epochs);
+    /** Time each epoch decision (decision_us_* result extras). */
+    ScenarioBuilder &recordDecisionTime(bool on = true);
 
     /** Number of back-end servers in the farm. */
     ScenarioBuilder &farmSize(std::size_t servers);

@@ -5,8 +5,10 @@
 #include <deque>
 #include <functional>
 
+#include "control/controller_manager.hh"
 #include "core/policy_manager.hh"
 #include "util/error.hh"
+#include "util/monotonic_clock.hh"
 #include "util/thread_pool.hh"
 
 namespace sleepscale {
@@ -405,18 +407,38 @@ FarmRuntime::FarmRuntime(const PlatformModel &platform,
                                        : &_resolvedPlatforms[i]);
 
     if (!_config.perServer.fixedPolicy) {
+        // Either decision path plugs in per slot: the search manager
+        // (with its eval engine) or the O(1) feedback controller —
+        // per-server control gets one autonomous decider per back-end
+        // in both cases.
+        const auto make_decider =
+            [this](const PlatformModel &server_platform)
+            -> std::unique_ptr<EpochDecider> {
+            if (_config.perServer.controller) {
+                return std::make_unique<ControllerManager>(
+                    server_platform, _spec.scaling,
+                    _config.perServer.space, _qos,
+                    *_config.perServer.controller,
+                    _config.perServer.initialPolicy);
+            }
+            auto manager = std::make_unique<PolicyManager>(
+                server_platform, _spec.scaling,
+                _config.perServer.space, _qos,
+                _config.perServer.search);
+            _searchManagers.push_back(manager.get());
+            return manager;
+        };
         if (perServerControl()) {
             _managers.reserve(_config.farmSize);
-            for (std::size_t i = 0; i < _config.farmSize; ++i) {
-                _managers.push_back(std::make_unique<PolicyManager>(
-                    *_serverPlatforms[i], _spec.scaling,
-                    _config.perServer.space, _qos,
-                    _config.perServer.search));
-            }
+            for (std::size_t i = 0; i < _config.farmSize; ++i)
+                _managers.push_back(
+                    make_decider(*_serverPlatforms[i]));
         } else {
-            _manager = std::make_unique<PolicyManager>(
-                *_serverPlatforms.front(), _spec.scaling,
-                _config.perServer.space, _qos, _config.perServer.search);
+            _manager = make_decider(*_serverPlatforms.front());
+            if (!_searchManagers.empty()) {
+                _searchManager = _searchManagers.front();
+                _searchManagers.clear();
+            }
         }
     }
 }
@@ -430,11 +452,24 @@ FarmRuntime::perServerControl() const
 const PolicyManager &
 FarmRuntime::serverManager(std::size_t server) const
 {
+    fatalIf(_searchManagers.empty(),
+            "FarmRuntime::serverManager: no per-server search "
+            "managers (needs control = \"per-server\", no fixed "
+            "policy, and a search strategy — controller runs expose "
+            "serverDecider() instead)");
+    fatalIf(server >= _searchManagers.size(),
+            "FarmRuntime::serverManager: server index out of range");
+    return *_searchManagers[server];
+}
+
+const EpochDecider &
+FarmRuntime::serverDecider(std::size_t server) const
+{
     fatalIf(_managers.empty(),
-            "FarmRuntime::serverManager: no per-server managers (needs "
+            "FarmRuntime::serverDecider: no per-server deciders (needs "
             "control = \"per-server\" and no fixed policy)");
     fatalIf(server >= _managers.size(),
-            "FarmRuntime::serverManager: server index out of range");
+            "FarmRuntime::serverDecider: server index out of range");
     return *_managers[server];
 }
 
@@ -498,6 +533,16 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
     bool last_epoch_within_budget = false;
     Policy current = _config.perServer.initialPolicy;
 
+    // The O(1) controller decides from scalar epoch observations and
+    // never reads the log, so controller runs skip log collection
+    // entirely (needs_log false).
+    const bool needs_log =
+        !_config.perServer.fixedPolicy && _manager->needsLog();
+    const bool record_decisions = _config.perServer.recordDecisionTime;
+    EpochObservation observation;
+    double epoch_demand = 0.0;
+    std::uint64_t epoch_job_count = 0;
+
     // Degraded-mode accounting (server-epochs / server-seconds; one
     // farm-wide fallback decision degrades every server). `logged`
     // counts appends to the rolling history so starvation detection
@@ -514,7 +559,8 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
     // which is their arrival from the admitting server's view).
     faults.setAdmitHook([&](const Job &job, std::size_t server) {
         if (!_config.perServer.fixedPolicy && server == 0) {
-            history.push_back(job);
+            if (needs_log)
+                history.push_back(job);
             ++logged;
         }
     });
@@ -551,8 +597,31 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
         if (minute % epoch_len == 0) {
             farm.advanceTo(t);
 
-            if (minute > 0)
+            if (minute > 0) {
                 closeEpoch(farm.harvestWindows(), t);
+
+                // Scalar observations of the closed epoch for the
+                // log-free decision path (core/epoch_decider.hh):
+                // per-server offered load and the farm-merged QoS
+                // statistic, captured before the report resets.
+                observation.measuredUtilization =
+                    epoch_demand / (static_cast<double>(epoch_len) *
+                                    secondsPerMinute * farm_size);
+                observation.hasMeasurement =
+                    epoch.stats.completions > 0;
+                observation.measuredQos =
+                    observation.hasMeasurement
+                        ? _qos.measuredValue(epoch.stats)
+                        : 0.0;
+                observation.meanJobSize =
+                    epoch_job_count > 0
+                        ? epoch_demand /
+                              static_cast<double>(epoch_job_count)
+                        : 0.0;
+                observation.applied = current;
+                epoch_demand = 0.0;
+                epoch_job_count = 0;
+            }
 
             epoch = EpochReport{};
             epoch.index = result.epochs.size();
@@ -561,6 +630,7 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
             const double predicted =
                 std::clamp(predictor.predict(minute), 0.0, 1.0);
             epoch.predictedUtilization = predicted;
+            observation.predictedUtilization = predicted;
 
             // Did the logged server (server 0) lose time to an outage
             // since the last decision *and* log no new jobs? Such an
@@ -579,25 +649,37 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
                 logged_mark = logged;
             }
 
+            observation.faultStarved = outage_starved;
+
             if (_config.perServer.fixedPolicy) {
                 current = *_config.perServer.fixedPolicy;
                 epoch.decided = true;
                 epoch.feasible = true;
             } else if (faults.active()) {
-                // Guarded decision path (docs/FAULTS.md): search the
-                // rescaled log as usual, but fall back to the safe
-                // fixed policy when the log was starved by an outage
-                // or no candidate fits the QoS budget. One farm-wide
-                // fallback degrades every server for the epoch.
-                const std::vector<Job> log =
-                    outage_starved
-                        ? std::vector<Job>()
-                        : rescaleHistoryToPrediction(history,
-                                                     predicted);
-                if (!log.empty() || outage_starved) {
-                    const PolicyManager::GuardedDecision guarded =
-                        _manager->selectFromLogGuarded(
-                            log, _config.degradedPolicy);
+                // Guarded decision path (docs/FAULTS.md): decide as
+                // usual, but fall back to the safe fixed policy when
+                // the measurement window was starved by an outage or
+                // the decision is infeasible. One farm-wide fallback
+                // degrades every server for the epoch.
+                std::vector<Job> log;
+                bool ready = false;
+                if (needs_log) {
+                    if (!outage_starved)
+                        log = rescaleHistoryToPrediction(history,
+                                                         predicted);
+                    ready = !log.empty() || outage_starved;
+                } else {
+                    ready = minute > 0;
+                }
+                if (ready) {
+                    const double decide_start =
+                        record_decisions ? monotonicMicros() : 0.0;
+                    const GuardedDecision guarded =
+                        _manager->decideGuarded(
+                            observation, log, _config.degradedPolicy);
+                    if (record_decisions)
+                        epoch.decisionMicros =
+                            monotonicMicros() - decide_start;
                     current = guarded.decision.policy;
                     epoch.feasible = guarded.decision.feasible;
                     epoch.decided = true;
@@ -614,17 +696,34 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
                             last_epoch_within_budget);
                     }
                 }
-                trimHistory(history, _config.perServer.evalLogCap);
-            } else if (history.size() >= 2) {
+                if (needs_log)
+                    trimHistory(history, _config.perServer.evalLogCap);
+            } else {
                 // Rescale the thinned log to the predicted per-server
                 // load (shape-preserving gap scaling, as in the
                 // single-server runtime's buildEvalLog; the farm keeps
                 // one rolling history rather than per-epoch buckets).
-                const std::vector<Job> log =
-                    rescaleHistoryToPrediction(history, predicted);
-                if (!log.empty()) {
+                // The controller path needs no log — only a closed
+                // epoch to have observed.
+                std::vector<Job> log;
+                bool ready = false;
+                if (needs_log) {
+                    if (history.size() >= 2) {
+                        log = rescaleHistoryToPrediction(history,
+                                                         predicted);
+                        ready = !log.empty();
+                    }
+                } else {
+                    ready = minute > 0;
+                }
+                if (ready) {
+                    const double decide_start =
+                        record_decisions ? monotonicMicros() : 0.0;
                     const PolicyDecision decision =
-                        _manager->selectFromLog(log);
+                        _manager->decide(observation, log);
+                    if (record_decisions)
+                        epoch.decisionMicros =
+                            monotonicMicros() - decide_start;
                     current = decision.policy;
                     epoch.feasible = decision.feasible;
                     epoch.decided = true;
@@ -633,7 +732,8 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
                         last_epoch_within_budget);
                 }
                 // Bound the rolling log.
-                trimHistory(history, _config.perServer.evalLogCap);
+                if (needs_log)
+                    trimHistory(history, _config.perServer.evalLogCap);
             }
 
             epoch.policy = current;
@@ -656,11 +756,14 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
             // keep no log at all — the stream passes through in O(1)
             // job memory.
             if (!_config.perServer.fixedPolicy && routed == 0) {
-                history.push_back(pending);
+                if (needs_log)
+                    history.push_back(pending);
                 ++logged;
             }
+            ++epoch_job_count;
             has_pending = source.next(pending);
         }
+        epoch_demand += minute_demand;
         faults.catchUp(minute_end);
         farm.advanceTo(minute_end);
 
@@ -723,9 +826,21 @@ FarmRuntime::runPerServer(JobSource &source,
     farm.setRecoverySeconds(_config.recoverySeconds);
     FaultDriver faults(farm, _config);
 
+    // The O(1) controller path decides from per-server scalar
+    // observations; only log-based deciders pay for per-server job
+    // logs (needs_log) and only controllers pay for the per-server
+    // demand accumulators (track_observations).
+    const bool needs_log = !fixed && _managers.front()->needsLog();
+    const bool track_observations = !fixed && !needs_log;
+    const bool record_decisions = _config.perServer.recordDecisionTime;
+    std::vector<EpochObservation> observations(size);
+    std::vector<double> epoch_demand(size, 0.0);
+    std::vector<std::uint64_t> epoch_job_count(size, 0);
+
     // Per-server rolling logs of the jobs the dispatcher actually
     // routed to each back-end — the local view each autonomous
-    // controller characterizes. Fixed-policy runs keep none.
+    // controller characterizes. Fixed-policy and controller runs
+    // keep none.
     std::vector<std::vector<Job>> history(size);
     std::vector<Policy> current(size,
                                 _config.perServer.initialPolicy);
@@ -743,8 +858,13 @@ FarmRuntime::runPerServer(JobSource &source,
     // their re-dispatch time, like any other routed job.
     faults.setAdmitHook([&](const Job &job, std::size_t server) {
         if (!fixed) {
-            history[server].push_back(job);
+            if (needs_log)
+                history[server].push_back(job);
             ++logged[server];
+            if (track_observations) {
+                epoch_demand[server] += job.size;
+                ++epoch_job_count[server];
+            }
         }
     });
 
@@ -752,7 +872,7 @@ FarmRuntime::runPerServer(JobSource &source,
     // the reduction below is deterministic for any pool width.
     std::vector<PolicyDecision> decisions(size);
     std::vector<char> decided(size, 0);
-    std::vector<PolicyManager::GuardedDecision> guarded(size);
+    std::vector<GuardedDecision> guarded(size);
 
     // Per-server degraded-mode accounting: a log starved by the
     // server's own outage (downtime accrued since its last decision)
@@ -841,42 +961,95 @@ FarmRuntime::runPerServer(JobSource &source,
                 }
             }
 
+            double fanout_micros = 0.0;
             if (fixed) {
                 for (std::size_t i = 0; i < size; ++i)
                     current[i] = *_config.perServer.fixedPolicy;
             } else {
-                // Fan the per-server selections out across the pool.
-                // Each lane touches only its own server's history and
-                // manager (one eval engine per server), results land by
-                // server index, and the reduction below runs in index
-                // order — so any pool width is bit-identical to serial.
+                // Per-server observations of the just-closed epoch
+                // for the log-free decision path: server_epoch still
+                // holds each server's closed window here (the reports
+                // reset below), and the demand accumulators hold the
+                // epoch's routed work.
+                if (track_observations) {
+                    const double window_seconds =
+                        static_cast<double>(epoch_len) *
+                        secondsPerMinute;
+                    const bool faults_active = faults.active();
+                    for (std::size_t i = 0; i < size; ++i) {
+                        EpochObservation &obs = observations[i];
+                        const SimStats &window = server_epoch[i].stats;
+                        obs.predictedUtilization = predicted;
+                        obs.measuredUtilization =
+                            minute > 0
+                                ? epoch_demand[i] / window_seconds
+                                : 0.0;
+                        obs.hasMeasurement =
+                            minute > 0 && window.completions > 0;
+                        obs.measuredQos =
+                            obs.hasMeasurement
+                                ? _qos.measuredValue(window)
+                                : 0.0;
+                        obs.meanJobSize =
+                            epoch_job_count[i] > 0
+                                ? epoch_demand[i] /
+                                      static_cast<double>(
+                                          epoch_job_count[i])
+                                : 0.0;
+                        obs.faultStarved =
+                            faults_active && outage_starved[i] != 0;
+                        obs.applied = current[i];
+                        epoch_demand[i] = 0.0;
+                        epoch_job_count[i] = 0;
+                    }
+                }
+
+                // Fan the per-server decisions out across the pool.
+                // Each lane touches only its own server's history,
+                // observation, and decider (one eval engine or
+                // controller per server), results land by server
+                // index, and the reduction below runs in index order
+                // — so any pool width is bit-identical to serial.
                 const bool faults_active = faults.active();
                 std::fill(decided.begin(), decided.end(), 0);
+                const double fanout_start =
+                    record_decisions ? monotonicMicros() : 0.0;
                 decision_pool->parallelFor(
                     size, [&](std::size_t i, std::size_t) {
-                        const std::vector<Job> log =
-                            faults_active && outage_starved[i]
-                                ? std::vector<Job>()
-                                : rescaleHistoryToPrediction(
-                                      history[i], predicted);
+                        std::vector<Job> log;
+                        if (needs_log &&
+                            !(faults_active && outage_starved[i]))
+                            log = rescaleHistoryToPrediction(
+                                history[i], predicted);
                         if (faults_active) {
                             // Guarded path (docs/FAULTS.md): starved-
                             // by-outage or infeasible lands on the
                             // safe fixed policy for this server only.
-                            if (log.empty() && !outage_starved[i])
+                            if (needs_log) {
+                                if (log.empty() && !outage_starved[i])
+                                    return;
+                            } else if (minute == 0) {
                                 return;
-                            guarded[i] =
-                                _managers[i]->selectFromLogGuarded(
-                                    log, _config.degradedPolicy);
+                            }
+                            guarded[i] = _managers[i]->decideGuarded(
+                                observations[i], log,
+                                _config.degradedPolicy);
                             decisions[i] = guarded[i].decision;
                             decided[i] = 1;
                             return;
                         }
-                        if (log.empty())
+                        if (needs_log) {
+                            if (log.empty())
+                                return;
+                        } else if (minute == 0) {
                             return;
-                        decisions[i] = _managers[i]->selectFromLog(log);
+                        }
+                        decisions[i] =
+                            _managers[i]->decide(observations[i], log);
                         decided[i] = 1;
                     });
+                if (record_decisions)
+                    fanout_micros = monotonicMicros() - fanout_start;
             }
 
             for (std::size_t i = 0; i < size; ++i) {
@@ -885,6 +1058,13 @@ FarmRuntime::runPerServer(JobSource &source,
                 epoch.index = epoch_index;
                 epoch.startTime = t;
                 epoch.predictedUtilization = predicted;
+                // The representative report (the merged farm view
+                // copies server 0's fields) carries the whole
+                // fan-out's wall time: the per-epoch decision cost of
+                // the farm, which is what the <1 s-at-10k-servers
+                // acceptance bound is about.
+                if (i == 0)
+                    epoch.decisionMicros = fanout_micros;
                 if (fixed) {
                     epoch.decided = true;
                     epoch.feasible = true;
@@ -906,7 +1086,7 @@ FarmRuntime::runPerServer(JobSource &source,
                             last_within[i]);
                     }
                 }
-                if (!fixed)
+                if (needs_log)
                     trimHistory(history[i],
                                 _config.perServer.evalLogCap);
                 epoch.policy = current[i];
@@ -925,8 +1105,13 @@ FarmRuntime::runPerServer(JobSource &source,
             // the job in the failover queue instead; it joins a log
             // via the admit hook if a retry lands.
             if (!fixed && routed != ServerFarm::noServer) {
-                history[routed].push_back(pending);
+                if (needs_log)
+                    history[routed].push_back(pending);
                 ++logged[routed];
+                if (track_observations) {
+                    epoch_demand[routed] += pending.size;
+                    ++epoch_job_count[routed];
+                }
             }
             has_pending = source.next(pending);
         }

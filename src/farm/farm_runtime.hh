@@ -299,16 +299,26 @@ class FarmRuntime
     /** The QoS constraint derived from the configuration. */
     const QosConstraint &qos() const { return _qos; }
 
-    /** The farm-wide policy manager (absent for fixed-policy or
-     * per-server configurations). Persistent across epochs and runs so
-     * the evaluation engine's plan cache and arenas are reused. */
-    const PolicyManager *manager() const { return _manager.get(); }
+    /** The farm-wide search policy manager (null for fixed-policy,
+     * per-server, or controller configurations). Persistent across
+     * epochs and runs so the evaluation engine's plan cache and
+     * arenas are reused. */
+    const PolicyManager *manager() const { return _searchManager; }
 
-    /** One server's autonomous policy manager (per-server control
-     * only; fatal() otherwise or when the index is out of range).
-     * Persistent across epochs and runs, so each server's eval-engine
-     * cache survives the whole farm lifetime. */
+    /** The farm-wide per-epoch decider — search manager or feedback
+     * controller (null for fixed-policy or per-server
+     * configurations). */
+    const EpochDecider *decider() const { return _manager.get(); }
+
+    /** One server's autonomous search policy manager (per-server
+     * search control only; fatal() otherwise or when the index is out
+     * of range). Persistent across epochs and runs, so each server's
+     * eval-engine cache survives the whole farm lifetime. */
     const PolicyManager &serverManager(std::size_t server) const;
+
+    /** One server's autonomous per-epoch decider (per-server control
+     * only; fatal() otherwise or when the index is out of range). */
+    const EpochDecider &serverDecider(std::size_t server) const;
 
     /** Resolved power model of one server. */
     const PlatformModel &serverPlatform(std::size_t server) const;
@@ -328,16 +338,25 @@ class FarmRuntime
      * to the constructor platform), fixed at construction. */
     std::vector<const PlatformModel *> _serverPlatforms;
 
-    /** Farm-wide persistent manager + evaluation engine; its arenas
-     * mutate during selection, so concurrent run() calls on one
-     * instance are not safe. */
-    std::unique_ptr<PolicyManager> _manager;
+    /** Farm-wide persistent decider (search manager + evaluation
+     * engine, or feedback controller); its state mutates during
+     * decisions, so concurrent run() calls on one instance are not
+     * safe. */
+    std::unique_ptr<EpochDecider> _manager;
 
-    /** Per-server persistent managers (per-server control; one per
-     * back-end so each keeps its own eval-engine cache). The decision
-     * pool that fans selections out over them is created per run(), so
-     * an idle runtime holds no worker threads. */
-    std::vector<std::unique_ptr<PolicyManager>> _managers;
+    /** Per-server persistent deciders (per-server control; one per
+     * back-end so each keeps its own eval-engine cache or controller
+     * state — autonomous per-server control is the point of the O(1)
+     * path). The decision pool that fans decisions out over them is
+     * created per run(), so an idle runtime holds no worker threads. */
+    std::vector<std::unique_ptr<EpochDecider>> _managers;
+
+    /** _manager, when it is the search path (see manager()). */
+    PolicyManager *_searchManager = nullptr;
+
+    /** _managers entries, when they are the search path (see
+     * serverManager()). */
+    std::vector<PolicyManager *> _searchManagers;
 
     /** Whether config.control selects autonomous per-server control. */
     bool perServerControl() const;

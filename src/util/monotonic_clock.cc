@@ -1,0 +1,16 @@
+#include "util/monotonic_clock.hh"
+
+#include <chrono>
+
+namespace sleepscale {
+
+double
+monotonicMicros()
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(
+               now.time_since_epoch())
+        .count();
+}
+
+} // namespace sleepscale

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Monotonic wall-clock reads for decision-cost observability.
+ *
+ * The determinism lint (tools/lint_determinism.py) bans clock reads in
+ * src/ because simulated results must be pure functions of the inputs.
+ * Measuring how long a *decision* takes is the one legitimate use of
+ * wall time: the reading feeds telemetry (decision_us_* extras), never
+ * simulated state, and the call sites are gated behind opt-in flags so
+ * default runs stay bit-identical. This shim is the single
+ * allowlisted entry point (tools/determinism_allowlist.txt); calling
+ * std::chrono clocks anywhere else in src/ still fails the lint.
+ */
+
+#ifndef SLEEPSCALE_UTIL_MONOTONIC_CLOCK_HH
+#define SLEEPSCALE_UTIL_MONOTONIC_CLOCK_HH
+
+namespace sleepscale {
+
+/** Monotonic timestamp in microseconds from an arbitrary epoch; only
+ * differences are meaningful. */
+double monotonicMicros();
+
+} // namespace sleepscale
+
+#endif // SLEEPSCALE_UTIL_MONOTONIC_CLOCK_HH

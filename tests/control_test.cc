@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Tests for the O(1) feedback-control decision subsystem
+ * (src/control, docs/CONTROL.md): the scalar Kalman filter against
+ * its closed-form steady state, the xup integrator's clamping and
+ * translation, convergence of the full loop after a load step,
+ * controller-vs-search sanity on stationary M/M/1 points, and the
+ * determinism contracts (bit-identical reruns, thread-width
+ * invariance, timing-instrumentation invariance).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "control/controller_manager.hh"
+#include "control/kalman_estimator.hh"
+#include "control/power_perf_controller.hh"
+#include "core/runtime.hh"
+#include "core/strategies.hh"
+#include "experiment/runner.hh"
+#include "experiment/scenario.hh"
+#include "power/platform_model.hh"
+#include "util/rng.hh"
+#include "workload/job_stream.hh"
+
+namespace sleepscale {
+namespace {
+
+// ------------------------------------------------------ Kalman filter
+
+TEST(KalmanEstimator, GainConvergesToClosedFormSteadyState)
+{
+    const struct { double q, r; } cases[] = {
+        {1e-4, 1e-2}, {1e-2, 1e-2}, {1.0, 0.5}, {1e-6, 1e-1}};
+    for (const auto &c : cases) {
+        KalmanEstimator filter(c.q, c.r, 0.0, 1.0);
+        // The Riccati recurrence contracts by (1 - k)^2 per step, so
+        // small-gain settings need many iterations to settle.
+        for (int i = 0; i < 20000; ++i)
+            filter.update(1.0);
+        const double expected =
+            KalmanEstimator::steadyStateGain(c.q, c.r);
+        EXPECT_NEAR(filter.gain(), expected, 1e-9 * expected)
+            << "q=" << c.q << " r=" << c.r;
+    }
+}
+
+TEST(KalmanEstimator, EstimateConvergesToConstantMeasurement)
+{
+    KalmanEstimator filter(1e-4, 1e-2, 0.0, 1e2);
+    double estimate = 0.0;
+    for (int i = 0; i < 500; ++i)
+        estimate = filter.update(5.0);
+    EXPECT_NEAR(estimate, 5.0, 1e-6);
+}
+
+TEST(KalmanEstimator, ObservationGainScalesTheMeasurement)
+{
+    // y = h * x with h = 4: a constant reading of 8 through gain 4
+    // estimates x = 2.
+    KalmanEstimator filter(1e-4, 1e-2, 0.0, 1e6);
+    double estimate = 0.0;
+    for (int i = 0; i < 500; ++i)
+        estimate = filter.update(8.0, 4.0);
+    EXPECT_NEAR(estimate, 2.0, 1e-6);
+}
+
+TEST(KalmanEstimator, ResetRestoresThePrior)
+{
+    KalmanEstimator filter(1e-3, 1e-2, 7.0, 3.0);
+    filter.update(1.0);
+    filter.update(2.0);
+    filter.reset();
+    EXPECT_EQ(filter.estimate(), 7.0);
+    EXPECT_EQ(filter.variance(), 3.0);
+    EXPECT_EQ(filter.gain(), 0.0);
+}
+
+// ------------------------------------------------- xup controller
+
+class PowerPerfControllerTest : public ::testing::Test
+{
+  protected:
+    PlatformModel xeon = PlatformModel::xeon();
+    WorkloadSpec dns = dnsWorkload();
+    PolicySpace space = PolicySpace::standard();
+    ControllerConfig config;
+};
+
+TEST_F(PowerPerfControllerTest, SpeedupRangeSpansTheGrid)
+{
+    PowerPerfController xup(xeon, dns.scaling, space, config);
+    EXPECT_DOUBLE_EQ(xup.xupMin(), 1.0);
+    EXPECT_GT(xup.xupMax(), 1.0);
+    // The integrator starts fast (at xupMax) and speedups are
+    // monotone in frequency.
+    EXPECT_DOUBLE_EQ(xup.xup(), xup.xupMax());
+    EXPECT_LT(xup.speedupOf(0.5), xup.speedupOf(1.0));
+}
+
+TEST_F(PowerPerfControllerTest, StepClampsToTheReachableRange)
+{
+    PowerPerfController xup(xeon, dns.scaling, space, config);
+    // A huge negative error cannot push xup below xupMin...
+    xup.step(-1e9, 1.0);
+    EXPECT_DOUBLE_EQ(xup.xup(), xup.xupMin());
+    EXPECT_FALSE(xup.saturatedHigh());
+    // ...and a huge positive error pins it at xupMax (anti-windup).
+    xup.step(1e9, 1.0);
+    EXPECT_DOUBLE_EQ(xup.xup(), xup.xupMax());
+    EXPECT_TRUE(xup.saturatedHigh());
+}
+
+TEST_F(PowerPerfControllerTest, StabilityFloorOverridesSlowRequests)
+{
+    PowerPerfController xup(xeon, dns.scaling, space, config);
+    xup.step(-1e9, 1.0); // request the slowest operating point
+    // At near-idle load the slow request stands; at high load the
+    // stability floor forces a faster frequency.
+    const Policy idle = xup.translate(0.01, 0.0);
+    const Policy busy = xup.translate(0.9, 0.0);
+    EXPECT_LT(idle.frequency, busy.frequency);
+    EXPECT_GE(busy.frequency, 0.9);
+}
+
+TEST_F(PowerPerfControllerTest, WakeAllowancePicksSleepDepth)
+{
+    PowerPerfController xup(xeon, dns.scaling, space, config);
+    // No allowance: the shallowest candidate; generous allowance: a
+    // strictly deeper one.
+    const Policy shallow = xup.translate(0.1, 0.0);
+    const Policy deep = xup.translate(0.1, 1e9);
+    EXPECT_LT(depthIndex(shallow.plan.deepest()),
+              depthIndex(deep.plan.deepest()));
+}
+
+TEST_F(PowerPerfControllerTest, ResetRestoresConstructionState)
+{
+    PowerPerfController xup(xeon, dns.scaling, space, config);
+    PowerPerfController fresh = xup;
+    xup.step(-3.0, 1.0);
+    xup.translate(0.3, 0.0);
+    xup.reset();
+    EXPECT_DOUBLE_EQ(xup.xup(), fresh.xup());
+    // Identical trajectories after reset.
+    for (int i = 0; i < 10; ++i) {
+        xup.step(-0.1 * i, 1.0);
+        fresh.step(-0.1 * i, 1.0);
+        const Policy a = xup.translate(0.2, 0.1);
+        const Policy b = fresh.translate(0.2, 0.1);
+        EXPECT_EQ(a.frequency, b.frequency);
+        EXPECT_EQ(a.plan.deepest(), b.plan.deepest());
+    }
+}
+
+// --------------------------------------------- ControllerManager unit
+
+class ControllerManagerTest : public ::testing::Test
+{
+  protected:
+    PlatformModel xeon = PlatformModel::xeon();
+    WorkloadSpec dns = dnsWorkload();
+
+    ControllerManager
+    makeManager()
+    {
+        const QosConstraint qos =
+            QosConstraint::fromBaselineMean(0.8, dns.serviceMean);
+        return ControllerManager(xeon, dns.scaling,
+                                 PolicySpace::standard(), qos,
+                                 ControllerConfig{},
+                                 Policy{1.0, SleepPlan::immediate(
+                                                 LowPowerState::C0IdleS0Idle)});
+    }
+
+    EpochObservation
+    observationAt(double load, double qos_seconds) const
+    {
+        EpochObservation observation;
+        observation.measuredUtilization = load;
+        observation.measuredQos = qos_seconds;
+        observation.meanJobSize = dns.serviceMean;
+        observation.hasMeasurement = true;
+        observation.applied =
+            Policy{1.0,
+                   SleepPlan::immediate(LowPowerState::C0IdleS0Idle)};
+        return observation;
+    }
+};
+
+TEST_F(ControllerManagerTest, NeedsNoLog)
+{
+    ControllerManager manager = makeManager();
+    EXPECT_FALSE(manager.needsLog());
+}
+
+TEST_F(ControllerManagerTest, HoldsPolicyWithoutMeasurement)
+{
+    ControllerManager manager = makeManager();
+    EpochObservation observation; // hasMeasurement = false
+    const PolicyDecision decision = manager.decide(observation, {});
+    EXPECT_TRUE(decision.feasible);
+    EXPECT_EQ(decision.policy.frequency, 1.0);
+    EXPECT_EQ(decision.evaluated, 0u);
+}
+
+TEST_F(ControllerManagerTest, RelaxesWhenComfortablyWithinBudget)
+{
+    ControllerManager manager = makeManager();
+    const double budget = manager.qos().budget();
+    Policy last;
+    for (int i = 0; i < 50; ++i)
+        last = manager
+                   .decide(observationAt(0.1, 0.05 * budget), {})
+                   .policy;
+    // Far under budget at light load, the loop backs off from f = 1.
+    EXPECT_LT(last.frequency, 1.0);
+}
+
+TEST_F(ControllerManagerTest, GuardedFallsBackWhenStarved)
+{
+    ControllerManager manager = makeManager();
+    const Policy fallback{0.77,
+                          SleepPlan::immediate(LowPowerState::C3S0Idle)};
+    EpochObservation observation = observationAt(0.3, 1.0);
+    observation.faultStarved = true;
+    const GuardedDecision guarded =
+        manager.decideGuarded(observation, {}, fallback);
+    EXPECT_TRUE(guarded.degraded);
+    EXPECT_FALSE(guarded.decision.feasible);
+    EXPECT_EQ(guarded.decision.policy.frequency, fallback.frequency);
+}
+
+// ------------------------------------------- closed-loop convergence
+
+/** First epoch index at/after `from` whose harvested stats meet the
+ * QoS budget (completed epochs only). */
+std::size_t
+firstWithinBudget(const RuntimeResult &result, std::size_t from)
+{
+    for (std::size_t i = from; i < result.epochs.size(); ++i) {
+        const EpochReport &epoch = result.epochs[i];
+        if (epoch.stats.completions > 0 &&
+            result.qos.satisfiedBy(epoch.stats))
+            return i;
+    }
+    return result.epochs.size();
+}
+
+TEST(ControlLoop, ReconvergesWithinBoundedEpochsAfterLoadStep)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const WorkloadSpec dns = dnsWorkload();
+
+    // 2x load step at minute 100: 20 settle epochs at 0.15, then 40
+    // epochs at 0.30.
+    std::vector<double> levels(100, 0.15);
+    levels.insert(levels.end(), 200, 0.30);
+    const UtilizationTrace trace("step", levels);
+    Rng rng(11);
+    const auto jobs = generateTraceDrivenJobs(rng, dns, trace);
+
+    StrategyKnobs knobs;
+    const RuntimeConfig config = strategyConfigByName("poet", knobs);
+    const SleepScaleRuntime runtime(xeon, dns, config);
+    NaivePreviousPredictor predictor(0.15);
+    const RuntimeResult result = runtime.run(jobs, trace, predictor);
+
+    const std::size_t step_epoch = 100 / config.epochMinutes;
+    ASSERT_GT(result.epochs.size(), step_epoch + 8);
+
+    // The loop must settle before the step...
+    ASSERT_LT(firstWithinBudget(result, 2), step_epoch);
+    // ...and re-enter the budget within a bounded number of epochs
+    // after the 2x step (the reactive-control recovery bound the
+    // bench reports; docs/CONTROL.md).
+    const std::size_t recovered =
+        firstWithinBudget(result, step_epoch + 1);
+    EXPECT_LE(recovered - step_epoch, 4u)
+        << "controller took " << (recovered - step_epoch)
+        << " epochs to re-converge after the load step";
+}
+
+// ------------------------------- controller vs search, stationary
+
+/** Stationary M/M/1 single-server scenario at the given load. */
+ScenarioSpec
+stationarySpec(const std::string &strategy, double util)
+{
+    return ScenarioBuilder("band " + strategy)
+        .workload("dns")
+        .idealizedWorkload()
+        .strategy(strategy)
+        .source("stationary")
+        .sourceUtilization(util)
+        .flatTrace(util, 720)
+        .seed(7)
+        .build();
+}
+
+TEST(ControlLoop, TracksSearchOnStationaryPoints)
+{
+    // On stationary M/M/1 points the O(1) controller must land in the
+    // same regime as the full search: QoS met, energy within a
+    // two-sided band. The band is wide — the controller regulates to
+    // a goal below the budget while the search picks the cheapest
+    // feasible candidate — but it pins the controller to the search's
+    // operating region (docs/CONTROL.md states the trade-off).
+    for (const double util : {0.15, 0.3}) {
+        const ScenarioResult poet =
+            ExperimentRunner::runScenario(stationarySpec("poet", util));
+        const ScenarioResult search =
+            ExperimentRunner::runScenario(stationarySpec("SS", util));
+        EXPECT_TRUE(search.withinBudget) << "util=" << util;
+        EXPECT_TRUE(poet.withinBudget) << "util=" << util;
+        const double ratio = poet.energy / search.energy;
+        EXPECT_GT(ratio, 0.75) << "util=" << util;
+        EXPECT_LT(ratio, 1.15) << "util=" << util;
+    }
+}
+
+// ------------------------------------------------------- determinism
+
+TEST(ControlDeterminism, RerunsAreBitIdentical)
+{
+    const ScenarioSpec spec = stationarySpec("poet", 0.3);
+    const ScenarioResult a = ExperimentRunner::runScenario(spec);
+    const ScenarioResult b = ExperimentRunner::runScenario(spec);
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.meanResponse, b.meanResponse);
+    EXPECT_EQ(a.p99Response, b.p99Response);
+    EXPECT_EQ(a.avgPower, b.avgPower);
+}
+
+TEST(ControlDeterminism, TimingInstrumentationDoesNotPerturbResults)
+{
+    // The monotonic-clock reads behind recordDecisionTime are the one
+    // allowlisted wall-clock use; they must never feed simulated
+    // state.
+    const ScenarioSpec plain = stationarySpec("poet", 0.3);
+    ScenarioSpec timed = plain;
+    timed.recordDecisionTime = true;
+    const ScenarioResult a = ExperimentRunner::runScenario(plain);
+    const ScenarioResult b = ExperimentRunner::runScenario(timed);
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.meanResponse, b.meanResponse);
+    EXPECT_GE(b.extra("decision_us_mean"), 0.0);
+    EXPECT_GE(b.extra("decision_us_p99"),
+              b.extra("decision_us_mean") * 0.0);
+}
+
+TEST(ControlDeterminism, PerServerFarmIsThreadWidthInvariant)
+{
+    // One controller per back-end; the decision fan-out must
+    // bit-reproduce the serial run at any pool width.
+    ScenarioSpec base = ScenarioBuilder("farm poet")
+                            .engine(EngineKind::Farm)
+                            .workload("dns")
+                            .strategy("poet")
+                            .farmSize(8)
+                            .farmControl("per-server")
+                            .flatTrace(0.25, 240)
+                            .source("stationary")
+                            .sourceUtilization(0.25)
+                            .seed(3)
+                            .build();
+    ScenarioSpec serial = base;
+    serial.decisionThreads = 1;
+    ScenarioSpec wide = base;
+    wide.decisionThreads = 8;
+
+    const ScenarioResult a = ExperimentRunner::runScenario(serial);
+    const ScenarioResult b = ExperimentRunner::runScenario(wide);
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.meanResponse, b.meanResponse);
+    ASSERT_EQ(a.servers.size(), b.servers.size());
+    for (std::size_t i = 0; i < a.servers.size(); ++i) {
+        EXPECT_EQ(a.servers[i].energy, b.servers[i].energy);
+        EXPECT_EQ(a.servers[i].jobs, b.servers[i].jobs);
+    }
+}
+
+// ----------------------------------------------------------- registry
+
+TEST(ControlRegistry, PoetIsRegisteredAndEnumerated)
+{
+    // The CLI's unknown-strategy rejection enumerates
+    // strategyRegistry() names, so registration here is what puts
+    // "poet" into that message.
+    const std::string names = strategyRegistry().namesCsv();
+    EXPECT_NE(names.find("poet"), std::string::npos) << names;
+}
+
+} // namespace
+} // namespace sleepscale

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "analytic/mm1_sleep.hh"
+#include "control/controller_manager.hh"
 #include "core/predictor.hh"
 #include "core/runtime.hh"
 #include "farm/farm_runtime.hh"
@@ -626,6 +627,108 @@ TEST_P(FaultFuzz, NoFaultRunsAreCleanDeterministicAndKnobBlind)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// -------------------------------------------------- controller fuzz
+//
+// State-lifetime determinism of the O(1) feedback controller
+// (src/control, docs/CONTROL.md): a copy taken mid-run must continue
+// bit-identically with the original, and reset() must reproduce a
+// fresh instance — the contracts per-server farm control and the
+// workflow resume path lean on. Registered as its own fast ctest
+// entry `control_fuzz` (labels integration+control).
+
+/** A random but valid epoch observation stream element. */
+EpochObservation
+randomObservation(Rng &rng, const WorkloadSpec &workload)
+{
+    EpochObservation observation;
+    observation.hasMeasurement = rng.uniform(0.0, 1.0) > 0.15;
+    observation.predictedUtilization = rng.uniform(0.0, 1.0);
+    observation.measuredUtilization = rng.uniform(0.0, 0.95);
+    observation.measuredQos =
+        rng.uniform(0.1, 10.0) * workload.serviceMean;
+    observation.meanJobSize =
+        rng.uniform(0.2, 5.0) * workload.serviceMean;
+    observation.faultStarved = rng.uniform(0.0, 1.0) > 0.9;
+    observation.applied =
+        Policy{rng.uniform(0.3, 1.0),
+               SleepPlan::immediate(LowPowerState::C6S0Idle)};
+    return observation;
+}
+
+bool
+samePolicyDecision(const PolicyDecision &a, const PolicyDecision &b)
+{
+    return a.policy.frequency == b.policy.frequency &&
+           a.policy.plan.deepest() == b.policy.plan.deepest() &&
+           a.feasible == b.feasible &&
+           a.predictedPower == b.predictedPower &&
+           a.predictedMetric == b.predictedMetric;
+}
+
+class ControllerFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ControllerFuzz, ResetAndCloneAreDeterministic)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const WorkloadSpec dns = dnsWorkload();
+    const QosConstraint qos =
+        QosConstraint::fromBaselineMean(0.8, dns.serviceMean);
+    const Policy initial{
+        1.0, SleepPlan::immediate(LowPowerState::C0IdleS0Idle)};
+    const Policy fallback{
+        1.0, SleepPlan::immediate(LowPowerState::C3S0Idle)};
+
+    Rng rng(GetParam() * 2654435761ULL + 17);
+    for (int round = 0; round < 6; ++round) {
+        ControllerConfig config;
+        config.processNoise = rng.uniform(1e-6, 1e-2);
+        config.measurementNoise = rng.uniform(1e-4, 1e-1);
+        config.pole = rng.uniform(0.0, 0.9);
+        config.periodEpochs = 1 + rng.uniformInt(3);
+
+        ControllerManager manager(xeon, dns.scaling,
+                                  PolicySpace::standard(), qos, config,
+                                  initial);
+
+        // Drive to a random mid-run point, replaying the prefix so a
+        // reset controller can be caught up later.
+        const std::size_t prefix = 1 + rng.uniformInt(30);
+        std::vector<EpochObservation> stream;
+        for (std::size_t i = 0; i < prefix; ++i) {
+            stream.push_back(randomObservation(rng, dns));
+            manager.decideGuarded(stream.back(), {}, fallback);
+        }
+
+        // A clone must continue bit-identically...
+        ControllerManager clone = manager;
+        // ...and reset + prefix replay must reproduce the original.
+        ControllerManager replayed = manager;
+        replayed.reset();
+        for (const EpochObservation &observation : stream)
+            replayed.decideGuarded(observation, {}, fallback);
+
+        for (int i = 0; i < 20; ++i) {
+            const EpochObservation observation =
+                randomObservation(rng, dns);
+            const GuardedDecision a =
+                manager.decideGuarded(observation, {}, fallback);
+            const GuardedDecision b =
+                clone.decideGuarded(observation, {}, fallback);
+            const GuardedDecision c =
+                replayed.decideGuarded(observation, {}, fallback);
+            EXPECT_TRUE(samePolicyDecision(a.decision, b.decision));
+            EXPECT_TRUE(samePolicyDecision(a.decision, c.decision));
+            EXPECT_EQ(a.degraded, b.degraded);
+            EXPECT_EQ(a.degraded, c.degraded);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerFuzz,
                          ::testing::Range<std::uint64_t>(1, 7));
 
 } // namespace

@@ -14,6 +14,11 @@
 # (docs/FAULTS.md). A drift in the churn=0 row means the fault layer
 # leaked into the fault-free path — the farm_fault_test pins should
 # have caught it first.
+#
+# Also runs bench_controller --json into BENCH_controller.json: the
+# O(1) feedback controller's decision cost vs the full and pruned
+# searches, burst-recovery epochs, paired energy/QoS deltas with CIs,
+# and the 10k-server per-server fan-out time (docs/CONTROL.md).
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -39,3 +44,12 @@ fi
 
 "$faults_bench" --json > "$repo_root/BENCH_farm_faults.json"
 echo "wrote $repo_root/BENCH_farm_faults.json"
+
+controller_bench="$build_dir/bench_controller"
+if [ ! -x "$controller_bench" ]; then
+    echo "error: $controller_bench not built; run tools/ci.sh" >&2
+    exit 1
+fi
+
+"$controller_bench" --json > "$repo_root/BENCH_controller.json"
+echo "wrote $repo_root/BENCH_controller.json"

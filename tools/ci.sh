@@ -66,6 +66,9 @@ fi
 # cross-cutting "fault" label rides along: the failover queue and the
 # fault-source clone/reset paths are lifetime-heavy, exactly what ASan
 # exists to catch (fault_fuzz is the fast slice of sim_fuzz_test).
+# The "control" label rides along the same way: the feedback
+# controller's clone/reset state lifetime (control_fuzz) is exactly
+# the shape ASan covers.
 san_dir="$build_dir-asan"
 cmake -B "$san_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Debug \
       -DSLEEPSCALE_BUILD_BENCHES=OFF -DSLEEPSCALE_BUILD_EXAMPLES=OFF \
@@ -73,26 +76,26 @@ cmake -B "$san_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Debug \
 cmake --build "$san_dir" -j "$(nproc 2>/dev/null || echo 4)"
 ctest --test-dir "$san_dir" --output-on-failure -j \
       "$(nproc 2>/dev/null || echo 4)" \
-      -L "unit|integration|fault"
+      -L "unit|integration|fault|control"
 echo "sanitizer pass OK: $san_dir"
 
 # Race-detection pass: TSan over exactly the suites that exercise
 # cross-thread state (ctest label "concurrency": thread pool, parallel
 # candidate search, replication fan-out, per-server farm decisions)
-# plus the "fault" label — degraded-mode decisions fan out across the
-# per-server pool, so the fault plane must be race-clean too. Only
-# those test targets are built, so this adds one library build, not a
-# third full tree.
+# plus the "fault" and "control" labels — degraded-mode and
+# controller decisions both fan out across the per-server pool, so
+# those planes must be race-clean too. Only those test targets are
+# built, so this adds one library build, not a third full tree.
 tsan_dir="$build_dir-tsan"
 cmake -B "$tsan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Debug \
       -DSLEEPSCALE_BUILD_BENCHES=OFF -DSLEEPSCALE_BUILD_EXAMPLES=OFF \
       -DSLEEPSCALE_SANITIZE=thread
 cmake --build "$tsan_dir" -j "$(nproc 2>/dev/null || echo 4)" --target \
       thread_pool_test eval_engine_test experiment_test \
-      farm_per_server_test farm_fault_test sim_fuzz_test
+      farm_per_server_test farm_fault_test sim_fuzz_test control_test
 ctest --test-dir "$tsan_dir" --output-on-failure -j \
       "$(nproc 2>/dev/null || echo 4)" \
-      -L "concurrency|fault"
+      -L "concurrency|fault|control"
 echo "TSan pass OK: $tsan_dir"
 
 # Thread-safety analysis: the GUARDED_BY/ACQUIRE/RELEASE annotations

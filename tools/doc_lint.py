@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Documentation lint for the public headers of src/farm and src/experiment.
+"""Documentation lint for the audited public headers (src/control,
+src/farm, src/fault, src/experiment).
 
 Fails (exit 1) with a file:line warning for every public declaration that
 carries no documentation comment. The rules mirror what Doxygen's
@@ -23,8 +24,8 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_GLOBS = ("src/farm/*.hh", "src/experiment/*.hh",
-                 "src/fault/*.hh")
+DEFAULT_GLOBS = ("src/control/*.hh", "src/farm/*.hh",
+                 "src/experiment/*.hh", "src/fault/*.hh")
 
 ACCESS_RE = re.compile(r"^\s*(public|protected|private)\s*:")
 TYPE_OPEN_RE = re.compile(

@@ -14,7 +14,9 @@
  *                     [--source trace|stationary|bursty] [--util 0.3]
  *                     [--burst-factor 4] [--burst-len 120]
  *                     [--burst-gap 1800] [--replay jobs.csv]
- *                     [--replications N]
+ *                     [--replications N] [--decision-time]
+ *                     [--controller-q 1e-4] [--controller-r 1e-2]
+ *                     [--controller-pole 0] [--controller-period 1]
  *   sleepscale trace  [--kind es|fs] [--days 3] [--seed 42]
  *                     [--out trace.csv]
  *   sleepscale farm   [--servers 4] [--dispatcher packing]
@@ -85,6 +87,8 @@ const std::set<std::string> knownOptions = {
     "control",    "decision-threads", "replications",
     "faults",     "mtbf",       "mttr",       "retry-backoff",
     "drop-timeout", "fault-compare",
+    "controller-q", "controller-r", "controller-pole",
+    "controller-period", "decision-time",
 };
 
 QosMetric
@@ -162,6 +166,12 @@ scenarioFromArgs(const CliArgs &args, EngineKind engine)
                     args.getDouble("mttr", 300.0))
         .retryBackoff(args.getDouble("retry-backoff", 1.0))
         .dropTimeout(args.getDouble("drop-timeout", 300.0))
+        .controllerNoise(args.getDouble("controller-q", 1e-4),
+                         args.getDouble("controller-r", 1e-2))
+        .controllerPole(args.getDouble("controller-pole", 0.0))
+        .controllerPeriod(static_cast<unsigned>(
+            args.getUnsigned("controller-period", 1)))
+        .recordDecisionTime(args.has("decision-time"))
         .replications(args.getUnsigned("replications", 1))
         .seed(args.getUnsigned("seed", 1));
     // --platforms xeon,xeon,atom,atom names one platform per server
@@ -332,6 +342,11 @@ cmdRun(const CliArgs &args)
     }
     std::cout << '\n';
 
+    if (args.has("decision-time"))
+        std::cout << "decision cost: "
+                  << result.extra("decision_us_mean") << " µs mean, "
+                  << result.extra("decision_us_p99") << " µs p99\n";
+
     if (args.has("epochs-csv")) {
         const std::string path = args.get("epochs-csv", "epochs.csv");
         writeCsvFile(path, result.epochs);
@@ -447,6 +462,10 @@ cmdFarm(const CliArgs &args)
                   << "degraded time: " << result.extra("degraded_s")
                   << " s\n";
     }
+    if (args.has("decision-time"))
+        std::cout << "decision cost: "
+                  << result.extra("decision_us_mean") << " µs mean, "
+                  << result.extra("decision_us_p99") << " µs p99\n";
     std::cout << '\n';
     serversTable(result).print(std::cout);
     return 0;
@@ -570,6 +589,12 @@ printUsage()
         "run/farm/grid take --replications N to replicate under\n"
         "derived seeds and print mean ± 95% confidence intervals\n"
         "(docs/STATISTICS.md)\n"
+        "\n"
+        "--strategy poet selects the O(1) Kalman-filtered feedback\n"
+        "controller (docs/CONTROL.md); knobs: --controller-q,\n"
+        "--controller-r, --controller-pole, --controller-period.\n"
+        "--decision-time reports per-epoch decision cost in µs\n"
+        "(decision_us_mean / decision_us_p99)\n"
         "\n"
         "run `sleepscale <command> --help` semantics are documented at\n"
         "the top of tools/sleepscale_cli.cc and in the README.\n";
