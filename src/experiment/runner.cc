@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analytic/offline_opt.hh"
 #include "core/predictor.hh"
 #include "core/runtime.hh"
 #include "core/strategies.hh"
@@ -167,6 +168,29 @@ runSingleServer(const ScenarioSpec &spec)
     }
     if (spec.recordDecisionTime)
         addDecisionExtras(result, run.epochs);
+    if (spec.reportRegret) {
+        // Re-materialize the exact job log the runtime consumed (same
+        // source, same seed, same arrival cutoff) and hand it to the
+        // offline oracle with the run's accounting horizon, so the
+        // regret compares identical books (docs/OFFLINE_OPT.md).
+        const auto replay = sourceOf(spec, workload, trace, 1.0);
+        std::vector<Job> log;
+        Job job;
+        while (replay->next(job) && job.arrival < trace.duration())
+            log.push_back(job);
+        OfflineOptOptions options;
+        options.epsilon = spec.optEpsilon;
+        const OfflineOptimal oracle(platform, workload.scaling, options);
+        const OfflineOptResult opt = oracle.solve(
+            OfflineOptInstance::fromJobs(std::move(log),
+                                         run.total.elapsed()));
+        result.extras.emplace_back("offline_opt_energy", opt.energy);
+        result.extras.emplace_back(
+            "regret_pct",
+            opt.energy > 0.0
+                ? 100.0 * (run.total.energy / opt.energy - 1.0)
+                : 0.0);
+    }
     if (spec.captureEpochs)
         result.epochs = epochsToCsv(run);
     return result;

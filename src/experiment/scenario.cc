@@ -152,6 +152,12 @@ ScenarioSpec::validate() const
                 "ScenarioSpec '" + label +
                     "': fault injection needs the farm engine");
     }
+    fatalIf(!(optEpsilon > 0.0),
+            "ScenarioSpec '" + label + "': optEpsilon must be > 0");
+    fatalIf(reportRegret && engine != EngineKind::SingleServer,
+            "ScenarioSpec '" + label +
+                "': reportRegret() needs the single-server engine "
+                "(the offline oracle replays one server's job log)");
 }
 
 ScenarioBuilder::ScenarioBuilder(std::string label)
@@ -499,6 +505,20 @@ ScenarioBuilder &
 ScenarioBuilder::captureEpochs(bool on)
 {
     _spec.captureEpochs = on;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::reportRegret(bool on)
+{
+    _spec.reportRegret = on;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::optEpsilon(double epsilon)
+{
+    _spec.optEpsilon = epsilon;
     return *this;
 }
 

@@ -163,6 +163,18 @@ struct ScenarioSpec
     bool captureEpochs = false;
 
     /**
+     * Solve the offline-optimal oracle over the run's completed job
+     * log and report `offline_opt_energy` and `regret_pct` result
+     * extras (single-server engine only; docs/OFFLINE_OPT.md). Under
+     * replications the regret inherits the PR 5 CI machinery like any
+     * other metric.
+     */
+    bool reportRegret = false;
+
+    /** FPTAS accuracy knob of the regret oracle (> 0). */
+    double optEpsilon = 0.05;
+
+    /**
      * Cross-check every registry-keyed name and numeric range; fatal()
      * with the registered alternatives on the first mismatch.
      */
@@ -282,6 +294,10 @@ class ScenarioBuilder
     ScenarioBuilder &replications(std::size_t count);
     /** Capture the per-epoch CSV in the result (single-server). */
     ScenarioBuilder &captureEpochs(bool on = true);
+    /** Report regret vs the offline-optimal oracle (single-server). */
+    ScenarioBuilder &reportRegret(bool on = true);
+    /** FPTAS accuracy of the regret oracle (> 0). */
+    ScenarioBuilder &optEpsilon(double epsilon);
     /** Replace the scenario's row label. */
     ScenarioBuilder &label(const std::string &text);
 

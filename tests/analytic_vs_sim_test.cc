@@ -15,6 +15,7 @@
 #include <string>
 
 #include "analytic/mm1_sleep.hh"
+#include "analytic/offline_opt.hh"
 #include "power/platform_model.hh"
 #include "sim/server_sim.hh"
 #include "util/rng.hh"
@@ -151,6 +152,58 @@ INSTANTIATE_TEST_SUITE_P(
         // Near-saturation stability edge.
         CrossCase{0.3, 0.4, LowPowerState::C0IdleS0Idle, 0.194}),
     caseName);
+
+// --------------------------------------------- oracle regret cross-check
+//
+// The analytic seam meets the offline oracle (docs/OFFLINE_OPT.md):
+// the M/M/1 closed-form mean power describes what a *fixed* policy
+// spends, so its energy over a log's span must dominate the offline
+// optimum for that same log — the closed forms and the oracle bound
+// the simulator from opposite sides. Registered alone as the fast
+// `analytic_regret` ctest entry (labels integration+analytic).
+
+TEST(AnalyticVsSimOracleRegret, ClosedFormEnergyDominatesTheOracle)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    const MM1SleepModel model(xeon);
+    const CrossCase cases[] = {
+        {0.1, 1.0, LowPowerState::C6S3, 0.194},
+        {0.3, 0.6, LowPowerState::C6S0Idle, 0.194},
+        {0.2, 0.8, LowPowerState::C3S0Idle, 4.2e-3},
+    };
+    for (const CrossCase &c : cases) {
+        const double mu = 1.0 / c.service_mean;
+        const double lambda = c.rho * mu;
+        const Policy policy{c.frequency, SleepPlan::immediate(c.state)};
+
+        Rng rng(20140614 + depthIndex(c.state));
+        ExponentialDist gaps(1.0 / lambda);
+        ExponentialDist sizes(c.service_mean);
+        const auto jobs = generateJobs(rng, gaps, sizes, 20000);
+        const PolicyEvaluation eval = evaluatePolicy(
+            xeon, ServiceScaling::cpuBound(), policy, jobs);
+
+        OfflineOptOptions options;
+        options.epsilon = 0.1;
+        const OfflineOptimal oracle(xeon, ServiceScaling::cpuBound(),
+                                    options);
+        const OfflineOptResult opt =
+            oracle.solve(OfflineOptInstance::fromJobs(
+                jobs, eval.stats.elapsed()));
+
+        // The sample energy the simulator actually spent can never
+        // undercut the oracle's certified lower bound ...
+        EXPECT_GE(eval.stats.energy, opt.energy - 1e-6)
+            << "rho " << c.rho << " f " << c.frequency;
+        // ... and the closed form tracks that sample within
+        // Monte-Carlo tolerance, so it dominates the oracle too
+        // (the 1% slack covers the estimator noise, nothing else).
+        const double analytic_energy =
+            model.meanPower(policy, lambda, mu) * eval.stats.elapsed();
+        EXPECT_GE(analytic_energy, 0.99 * opt.energy)
+            << "rho " << c.rho << " f " << c.frequency;
+    }
+}
 
 // -------------------------------------------------- multi-stage descent
 

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "analytic/mm1_sleep.hh"
+#include "analytic/offline_opt.hh"
 #include "control/controller_manager.hh"
 #include "core/predictor.hh"
 #include "core/runtime.hh"
@@ -729,6 +730,64 @@ TEST_P(ControllerFuzz, ResetAndCloneAreDeterministic)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ControllerFuzz,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// ------------------------------------------------- offline-opt fuzz
+//
+// Differential fuzz of the offline-optimal oracle (docs/OFFLINE_OPT.md):
+// random small job logs through the exact Pareto solver vs the FPTAS
+// must respect the certified bracket, and both solvers must be
+// bit-deterministic across reruns — the contract the golden regret
+// snapshots and replication CIs lean on. Registered as its own fast
+// ctest entry `offline_opt_fuzz` (labels integration+analytic).
+
+class OfflineOptFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(OfflineOptFuzz, ExactVsFptasBracketAndDeterminism)
+{
+    const PlatformModel xeon = PlatformModel::xeon();
+    Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 3);
+    for (int round = 0; round < 12; ++round) {
+        // Random grid, epsilon, scaling law, and log shape each round.
+        OfflineOptOptions options;
+        options.epsilon = rng.uniform(0.02, 0.3);
+        const double lo = rng.uniform(0.3, 0.6);
+        options.frequencies = PolicySpace::frequencyGrid(
+            lo, 1.0, rng.uniform(0.1, 0.3));
+        const ServiceScaling scaling{rng.uniform(0.0, 1.0)};
+        const OfflineOptimal oracle(xeon, scaling, options);
+
+        std::vector<Job> jobs;
+        double t = rng.uniform(0.0, 1.0);
+        const std::size_t n = 1 + rng.uniformInt(9);
+        for (std::size_t j = 0; j < n; ++j) {
+            jobs.push_back({t, rng.uniform(0.0, 0.5), 0});
+            t += rng.uniform(0.0, 3.0);
+        }
+        const auto instance = OfflineOptInstance::fromJobs(
+            jobs, t + rng.uniform(0.0, 5.0));
+
+        const OfflineOptResult exact = oracle.solveExact(instance);
+        const OfflineOptResult fptas = oracle.solve(instance);
+        EXPECT_LE(fptas.energy, exact.energy + 1e-6);
+        EXPECT_LE(exact.energy,
+                  (1.0 + options.epsilon) * fptas.energy + 1e-6);
+        EXPECT_GE(fptas.upperBound, exact.energy - 1e-6);
+
+        // Re-solving the same instance must be bit-identical.
+        const OfflineOptResult again = oracle.solve(instance);
+        EXPECT_EQ(fptas.energy, again.energy);
+        EXPECT_EQ(fptas.upperBound, again.upperBound);
+        EXPECT_EQ(fptas.frontierPeak, again.frontierPeak);
+        const OfflineOptResult exact_again = oracle.solveExact(instance);
+        EXPECT_EQ(exact.energy, exact_again.energy);
+        EXPECT_EQ(exact.jobFrequencies, exact_again.jobFrequencies);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OfflineOptFuzz,
                          ::testing::Range<std::uint64_t>(1, 7));
 
 } // namespace

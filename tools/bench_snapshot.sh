@@ -19,6 +19,11 @@
 # O(1) feedback controller's decision cost vs the full and pruned
 # searches, burst-recovery epochs, paired energy/QoS deltas with CIs,
 # and the 10k-server per-server fan-out time (docs/CONTROL.md).
+#
+# Also runs bench_offline_opt --json into BENCH_offline_opt.json: the
+# regret of SS / pruned / poet / degraded-fallback vs the offline-
+# optimal oracle on the Table 5 workloads (95% CIs), FPTAS runtime vs
+# epsilon, and the FPTAS-vs-exact speedup (docs/OFFLINE_OPT.md).
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -53,3 +58,12 @@ fi
 
 "$controller_bench" --json > "$repo_root/BENCH_controller.json"
 echo "wrote $repo_root/BENCH_controller.json"
+
+offline_opt_bench="$build_dir/bench_offline_opt"
+if [ ! -x "$offline_opt_bench" ]; then
+    echo "error: $offline_opt_bench not built; run tools/ci.sh" >&2
+    exit 1
+fi
+
+"$offline_opt_bench" --json > "$repo_root/BENCH_offline_opt.json"
+echo "wrote $repo_root/BENCH_offline_opt.json"

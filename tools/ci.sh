@@ -68,7 +68,9 @@ fi
 # exists to catch (fault_fuzz is the fast slice of sim_fuzz_test).
 # The "control" label rides along the same way: the feedback
 # controller's clone/reset state lifetime (control_fuzz) is exactly
-# the shape ASan covers.
+# the shape ASan covers. "analytic" pulls in the offline-oracle plane
+# (offline_opt_test plus the offline_opt_fuzz and analytic_regret
+# slices) without dragging the slow statistical tiers along.
 san_dir="$build_dir-asan"
 cmake -B "$san_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Debug \
       -DSLEEPSCALE_BUILD_BENCHES=OFF -DSLEEPSCALE_BUILD_EXAMPLES=OFF \
@@ -76,7 +78,7 @@ cmake -B "$san_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Debug \
 cmake --build "$san_dir" -j "$(nproc 2>/dev/null || echo 4)"
 ctest --test-dir "$san_dir" --output-on-failure -j \
       "$(nproc 2>/dev/null || echo 4)" \
-      -L "unit|integration|fault|control"
+      -L "unit|integration|fault|control|analytic"
 echo "sanitizer pass OK: $san_dir"
 
 # Race-detection pass: TSan over exactly the suites that exercise

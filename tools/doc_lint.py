@@ -24,8 +24,9 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_GLOBS = ("src/control/*.hh", "src/farm/*.hh",
-                 "src/experiment/*.hh", "src/fault/*.hh")
+DEFAULT_GLOBS = ("src/analytic/*.hh", "src/control/*.hh",
+                 "src/farm/*.hh", "src/experiment/*.hh",
+                 "src/fault/*.hh")
 
 ACCESS_RE = re.compile(r"^\s*(public|protected|private)\s*:")
 TYPE_OPEN_RE = re.compile(

@@ -15,6 +15,7 @@
  *                     [--burst-factor 4] [--burst-len 120]
  *                     [--burst-gap 1800] [--replay jobs.csv]
  *                     [--replications N] [--decision-time]
+ *                     [--regret] [--opt-epsilon 0.05]
  *                     [--controller-q 1e-4] [--controller-r 1e-2]
  *                     [--controller-pole 0] [--controller-period 1]
  *   sleepscale trace  [--kind es|fs] [--days 3] [--seed 42]
@@ -89,6 +90,7 @@ const std::set<std::string> knownOptions = {
     "drop-timeout", "fault-compare",
     "controller-q", "controller-r", "controller-pole",
     "controller-period", "decision-time",
+    "regret",     "opt-epsilon",
 };
 
 QosMetric
@@ -306,6 +308,12 @@ printReplicatedSummary(const ReplicatedResult &result)
               << "QoS violated:  "
               << 100.0 * result.metric("qos_violation").mean()
               << "% of replications\n";
+    if (result.spec.reportRegret)
+        std::cout << "oracle energy: "
+                  << result.metric("offline_opt_energy").toString()
+                  << " J\n"
+                  << "regret:        "
+                  << result.metric("regret_pct").toString() << " %\n";
 }
 
 int
@@ -315,6 +323,9 @@ cmdRun(const CliArgs &args)
         scenarioFromArgs(args, EngineKind::SingleServer);
     if (args.has("epochs-csv"))
         builder.captureEpochs();
+    if (args.has("regret"))
+        builder.reportRegret().optEpsilon(
+            args.getDouble("opt-epsilon", 0.05));
     if (args.getUnsigned("replications", 1) > 1) {
         fatalIf(args.has("epochs-csv"),
                 "run: --epochs-csv needs a single run (drop "
@@ -346,6 +357,12 @@ cmdRun(const CliArgs &args)
         std::cout << "decision cost: "
                   << result.extra("decision_us_mean") << " µs mean, "
                   << result.extra("decision_us_p99") << " µs p99\n";
+
+    if (args.has("regret"))
+        std::cout << "oracle energy: "
+                  << result.extra("offline_opt_energy")
+                  << " J  (regret "
+                  << result.extra("regret_pct") << "%)\n";
 
     if (args.has("epochs-csv")) {
         const std::string path = args.get("epochs-csv", "epochs.csv");
@@ -595,6 +612,13 @@ printUsage()
         "--controller-r, --controller-pole, --controller-period.\n"
         "--decision-time reports per-epoch decision cost in µs\n"
         "(decision_us_mean / decision_us_p99)\n"
+        "\n"
+        "run takes --regret to score the run against the offline-\n"
+        "optimal oracle (docs/OFFLINE_OPT.md): reports the oracle's\n"
+        "energy and regret_pct = 100*(energy/optimal - 1); with\n"
+        "--replications N the regret prints as mean ± 95% CI.\n"
+        "--opt-epsilon tightens/loosens the FPTAS bracket (default\n"
+        "0.05).\n"
         "\n"
         "run `sleepscale <command> --help` semantics are documented at\n"
         "the top of tools/sleepscale_cli.cc and in the README.\n";
