@@ -210,6 +210,8 @@ runFarm(const ScenarioSpec &spec)
     config.control = spec.farmControl;
     config.platforms = spec.farmPlatforms;
     config.decisionThreads = spec.decisionThreads;
+    config.shards = spec.farmShards;
+    config.tailHistograms = spec.tailHistograms;
     // Decorrelated from the job-generation stream, which uses the raw
     // seed: identical seeds would put both generators in lock-step.
     config.dispatchSeed = mixSeed(spec.seed);

@@ -114,10 +114,13 @@ ScenarioSpec::validate() const
         dispatcherRegistry().get(dispatcher);
         fatalIf(farmSize == 0,
                 "ScenarioSpec '" + label + "': farmSize must be >= 1");
-        fatalIf(farmControl != "farm-wide" && farmControl != "per-server",
+        fatalIf(farmControl != "farm-wide" &&
+                    farmControl != "per-server" &&
+                    farmControl != "distributed",
                 "ScenarioSpec '" + label + "': unknown farmControl '" +
                     farmControl +
-                    "' (use \"farm-wide\" or \"per-server\")");
+                    "' (use \"farm-wide\", \"per-server\", or "
+                    "\"distributed\")");
         fatalIf(!farmPlatforms.empty() &&
                     farmPlatforms.size() != farmSize,
                 "ScenarioSpec '" + label + "': farmPlatforms lists " +
@@ -131,10 +134,11 @@ ScenarioSpec::validate() const
             heterogeneous =
                 heterogeneous || name != farmPlatforms.front();
         }
-        fatalIf(heterogeneous && farmControl != "per-server",
+        fatalIf(heterogeneous && farmControl == "farm-wide",
                 "ScenarioSpec '" + label +
                     "': a heterogeneous farmPlatforms mix needs "
-                    "farmControl(\"per-server\")");
+                    "farmControl(\"per-server\") or "
+                    "farmControl(\"distributed\")");
         faultSourceRegistry().get(faults);
         if (faults != "none") {
             fatalIf(mtbf <= 0.0 || mttr <= 0.0,
@@ -397,6 +401,20 @@ ScenarioBuilder &
 ScenarioBuilder::farmControl(const std::string &mode)
 {
     _spec.farmControl = mode;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::farmShards(std::size_t shards)
+{
+    _spec.farmShards = shards;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::tailHistograms(bool on)
+{
+    _spec.tailHistograms = on;
     return *this;
 }
 

@@ -122,11 +122,15 @@ struct ScenarioSpec
     std::size_t farmSize = 4;           ///< Back-end server count.
     std::string dispatcher = "random";  ///< Dispatcher registry name.
     double packingSpillBacklog = 1.0;   ///< Packing spill threshold, s.
-    std::string farmControl = "farm-wide"; ///< "farm-wide" | "per-server".
+    /** "farm-wide" | "per-server" | "distributed". */
+    std::string farmControl = "farm-wide";
     /** Per-server platform names (empty = homogeneous `platform`; a
-     * heterogeneous mix needs farmControl "per-server"). */
+     * heterogeneous mix needs farmControl "per-server" or
+     * "distributed"). */
     std::vector<std::string> farmPlatforms;
     std::size_t decisionThreads = 0;    ///< Per-server decision fan-out.
+    std::size_t farmShards = 1;         ///< Accounting shard width (0 = auto).
+    bool tailHistograms = true;         ///< Per-completion tail histograms.
 
     // Fault injection (farm engine only; docs/FAULTS.md). "none"
     // reproduces the fault-free farm bit-for-bit.
@@ -257,13 +261,19 @@ class ScenarioBuilder
     ScenarioBuilder &dispatcher(const std::string &name);
     /** Packing-dispatcher spill threshold, seconds of backlog. */
     ScenarioBuilder &packingSpillBacklog(double seconds);
-    /** Farm control mode: "farm-wide" or "per-server". */
+    /** Farm control mode: "farm-wide", "per-server", or
+     * "distributed". */
     ScenarioBuilder &farmControl(const std::string &mode);
     /** One platform name per server (implies farmSize; a mixed list
-     * needs farmControl("per-server")). */
+     * needs farmControl("per-server") or "distributed"). */
     ScenarioBuilder &farmPlatforms(std::vector<std::string> names);
     /** Per-server epoch-decision fan-out width (0 = auto). */
     ScenarioBuilder &decisionThreads(std::size_t threads);
+    /** Farm accounting shard width (1 = serial, 0 = auto-size). */
+    ScenarioBuilder &farmShards(std::size_t shards);
+    /** Toggle per-completion response-tail histograms (off for
+     * 10k+-server scale runs; percentile outputs then read 0). */
+    ScenarioBuilder &tailHistograms(bool on);
 
     /** Fault source by registry name ("none", "mtbf", "correlated",
      * "scripted"); see docs/FAULTS.md. */

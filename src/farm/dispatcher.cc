@@ -14,7 +14,27 @@ requireServers(const std::vector<ServerSnapshot> &servers)
     fatalIf(servers.empty(), "Dispatcher: farm has no servers");
 }
 
+void
+requireServers(const FarmView &farm)
+{
+    fatalIf(farm.count() == 0, "Dispatcher: farm has no servers");
+}
+
 } // namespace
+
+std::size_t
+Dispatcher::route(const Job &job, const FarmView &farm)
+{
+    // Compatibility shim for dispatchers that predate FarmView: build
+    // the full snapshot vector and defer to the legacy overload. The
+    // built-ins override this with O(log N) routing.
+    std::vector<ServerSnapshot> view(farm.count());
+    for (std::size_t i = 0; i < view.size(); ++i) {
+        view[i].backlog = farm.backlog(i);
+        view[i].idle = farm.idle(i);
+    }
+    return route(job, view);
+}
 
 RandomDispatcher::RandomDispatcher(std::uint64_t seed)
     : _rng(seed)
@@ -31,12 +51,32 @@ RandomDispatcher::route(const Job &job,
 }
 
 std::size_t
+RandomDispatcher::route(const Job &job, const FarmView &farm)
+{
+    (void)job;
+    requireServers(farm);
+    // Same single draw as the snapshot overload, so RNG consumption —
+    // and therefore every downstream decision — is path-independent.
+    return _rng.uniformInt(farm.count());
+}
+
+std::size_t
 RoundRobinDispatcher::route(const Job &job,
                             const std::vector<ServerSnapshot> &servers)
 {
     (void)job;
     requireServers(servers);
     const std::size_t pick = _next % servers.size();
+    ++_next;
+    return pick;
+}
+
+std::size_t
+RoundRobinDispatcher::route(const Job &job, const FarmView &farm)
+{
+    (void)job;
+    requireServers(farm);
+    const std::size_t pick = _next % farm.count();
     ++_next;
     return pick;
 }
@@ -56,6 +96,22 @@ JsqDispatcher::route(const Job &job,
         }
     }
     return best;
+}
+
+std::size_t
+JsqDispatcher::route(const Job &job, const FarmView &farm)
+{
+    (void)job;
+    requireServers(farm);
+    // An idle server has backlog exactly 0.0 and every busy server's
+    // backlog is > 0, so the legacy strict-< scan always lands on the
+    // lowest-index idle server when one exists, and otherwise on the
+    // busy server whose queue empties first.
+    const std::size_t idle = farm.lowestIdle();
+    if (idle < farm.count())
+        return idle;
+    const std::size_t busy = farm.leastBacklogBusy();
+    return busy < farm.count() ? busy : 0;
 }
 
 PackingDispatcher::PackingDispatcher(double spill_backlog)
@@ -91,6 +147,23 @@ PackingDispatcher::route(const Job &job,
     }
     // ...and if none is idle, fall back to JSQ.
     return best_busy < servers.size() ? best_busy : 0;
+}
+
+std::size_t
+PackingDispatcher::route(const Job &job, const FarmView &farm)
+{
+    (void)job;
+    requireServers(farm);
+    // Mirrors the snapshot overload: least-backlogged busy server below
+    // the spill threshold, else the lowest-index idle server, else the
+    // least-backlogged busy server regardless of threshold.
+    const std::size_t busy = farm.leastBacklogBusy();
+    if (busy < farm.count() && farm.backlog(busy) < _spillBacklog)
+        return busy;
+    const std::size_t idle = farm.lowestIdle();
+    if (idle < farm.count())
+        return idle;
+    return busy < farm.count() ? busy : 0;
 }
 
 std::unique_ptr<Dispatcher>

@@ -31,6 +31,39 @@ struct ServerSnapshot
     bool idle = true;       ///< Whether the queue is currently empty.
 };
 
+/**
+ * Indexed view of the farm at one arrival instant.
+ *
+ * Unlike the materialized ServerSnapshot vector, a FarmView answers
+ * point queries lazily and exposes the two aggregate lookups the
+ * built-in dispatchers need — lowest idle server, least-backlogged
+ * busy server — in O(log N) against the farm's event-time indexes
+ * (farm/farm_calendar.hh), so routing never scans the whole farm.
+ * Both aggregates break ties to the lowest server index, matching the
+ * legacy full-scan dispatchers bit for bit.
+ */
+class FarmView
+{
+  public:
+    virtual ~FarmView() = default;
+
+    /** Number of servers in the view. */
+    virtual std::size_t count() const = 0;
+
+    /** Committed seconds of work remaining on one server. */
+    virtual double backlog(std::size_t server) const = 0;
+
+    /** Whether one server's queue is currently empty. */
+    virtual bool idle(std::size_t server) const = 0;
+
+    /** Lowest idle server index, or count() when none is idle. */
+    virtual std::size_t lowestIdle() const = 0;
+
+    /** Busy server whose queue empties first (lowest index on ties),
+     * or count() when no server is busy. */
+    virtual std::size_t leastBacklogBusy() const = 0;
+};
+
 /** Strategy interface: pick a server index for each arrival. */
 class Dispatcher
 {
@@ -48,6 +81,19 @@ class Dispatcher
                               const std::vector<ServerSnapshot> &servers)
         = 0;
 
+    /**
+     * Route one job against an indexed farm view (the fault-free fast
+     * path). The base implementation materializes a ServerSnapshot
+     * vector and defers to the legacy overload, so third-party
+     * dispatchers registered against dispatcherRegistry() keep working
+     * unchanged; the built-ins override this with O(log N) routing.
+     *
+     * @param job The arriving job.
+     * @param farm Indexed view of the farm at the arrival instant.
+     * @return Index of the chosen server (< farm.count()).
+     */
+    virtual std::size_t route(const Job &job, const FarmView &farm);
+
     /** Name for reports. */
     virtual std::string name() const = 0;
 };
@@ -62,6 +108,7 @@ class RandomDispatcher final : public Dispatcher
     std::size_t route(const Job &job,
                       const std::vector<ServerSnapshot> &servers)
         override;
+    std::size_t route(const Job &job, const FarmView &farm) override;
     std::string name() const override { return "random"; }
 
   private:
@@ -75,6 +122,7 @@ class RoundRobinDispatcher final : public Dispatcher
     std::size_t route(const Job &job,
                       const std::vector<ServerSnapshot> &servers)
         override;
+    std::size_t route(const Job &job, const FarmView &farm) override;
     std::string name() const override { return "round-robin"; }
 
   private:
@@ -88,6 +136,7 @@ class JsqDispatcher final : public Dispatcher
     std::size_t route(const Job &job,
                       const std::vector<ServerSnapshot> &servers)
         override;
+    std::size_t route(const Job &job, const FarmView &farm) override;
     std::string name() const override { return "JSQ"; }
 };
 
@@ -108,6 +157,7 @@ class PackingDispatcher final : public Dispatcher
     std::size_t route(const Job &job,
                       const std::vector<ServerSnapshot> &servers)
         override;
+    std::size_t route(const Job &job, const FarmView &farm) override;
     std::string name() const override { return "packing"; }
 
   private:

@@ -7,6 +7,7 @@
 
 #include "control/controller_manager.hh"
 #include "core/policy_manager.hh"
+#include "farm/rate_scaler.hh"
 #include "util/error.hh"
 #include "util/monotonic_clock.hh"
 #include "util/thread_pool.hh"
@@ -16,6 +17,19 @@ namespace sleepscale {
 namespace {
 
 constexpr double secondsPerMinute = 60.0;
+
+// Shard width for the farm's per-server accounting loops: explicit
+// widths are honored (capped at the farm size); 0 sizes automatically
+// at one lane per 1024 servers, capped at the hardware concurrency,
+// so small farms stay serial and huge farms fan out.
+std::size_t
+resolveShards(std::size_t shards, std::size_t farm_size)
+{
+    if (shards != 0)
+        return std::min(shards, std::max<std::size_t>(farm_size, 1));
+    const std::size_t by_size = farm_size / 1024 + 1;
+    return std::min(by_size, ThreadPool::hardwareLanes());
+}
 
 /** Build the fault-source configuration a runtime config describes. */
 FaultSourceConfig
@@ -178,12 +192,8 @@ class FaultDriver
 
     void scheduleEntry(RetryEntry entry)
     {
-        // Capped exponential backoff in sim time: attempt k waits
-        // backoff * 2^(k-1), no further than the cap.
-        const double exponent =
-            std::min<double>(entry.attempts - 1, 30.0);
-        const double delay =
-            std::min(_backoff * std::pow(2.0, exponent), _backoffCap);
+        const double delay = failoverBackoffDelay(
+            _backoff, entry.attempts, _backoffCap);
         entry.due += delay;
         if (entry.due > entry.deadline) {
             ++_stats.dropped; // Recorded SLO loss.
@@ -287,6 +297,26 @@ applyOverProvision(Policy &policy, double alpha, bool last_within)
 } // namespace
 
 double
+failoverBackoffDelay(double backoff, unsigned attempts, double cap)
+{
+    fatalIf(!(backoff > 0.0) || !std::isfinite(backoff),
+            "failoverBackoffDelay: backoff must be positive and "
+            "finite seconds");
+    fatalIf(attempts == 0, "failoverBackoffDelay: attempts start at 1");
+    fatalIf(!(cap >= backoff) || !std::isfinite(cap),
+            "failoverBackoffDelay: cap must be finite and >= backoff");
+    // Attempt k waits backoff * 2^(k-1), no further than the cap.
+    // Saturate before scaling: past 2^1074 even the smallest positive
+    // double lands beyond any finite cap, and ldexp toward infinity
+    // must never reach the min() as an overflow artifact.
+    const unsigned shift = attempts - 1;
+    if (shift > 1074)
+        return cap;
+    const double delay = std::ldexp(backoff, static_cast<int>(shift));
+    return std::min(delay, cap);
+}
+
+double
 FarmFaultStats::availability(std::size_t farm_size) const
 {
     const double server_seconds =
@@ -345,9 +375,11 @@ FarmRuntime::FarmRuntime(const PlatformModel &platform,
     fatalIf(_config.perServer.epochMinutes == 0,
             "FarmRuntime: epochMinutes must be positive");
     fatalIf(_config.control != "farm-wide" &&
-                _config.control != "per-server",
+                _config.control != "per-server" &&
+                _config.control != "distributed",
             "FarmRuntime: unknown control mode '" + _config.control +
-                "' (use \"farm-wide\" or \"per-server\")");
+                "' (use \"farm-wide\", \"per-server\", or "
+                "\"distributed\")");
     // Fail fast on misspelled dispatcher names: get() lists the
     // registered alternatives, and catching it here (instead of inside
     // run()) surfaces the mistake while the configuration site is still
@@ -397,8 +429,9 @@ FarmRuntime::FarmRuntime(const PlatformModel &platform,
                 heterogeneous || name != _config.platforms.front();
         fatalIf(heterogeneous && !perServerControl(),
                 "FarmRuntime: a heterogeneous platform mix needs "
-                "control = \"per-server\" (one farm-wide decision "
-                "cannot bind to multiple power models)");
+                "control = \"per-server\" or \"distributed\" (one "
+                "farm-wide decision cannot bind to multiple power "
+                "models)");
     }
     _serverPlatforms.reserve(_config.farmSize);
     for (std::size_t i = 0; i < _config.farmSize; ++i)
@@ -414,6 +447,18 @@ FarmRuntime::FarmRuntime(const PlatformModel &platform,
         const auto make_decider =
             [this](const PlatformModel &server_platform)
             -> std::unique_ptr<EpochDecider> {
+            if (_config.control == "distributed") {
+                // Zero-communication local rate scaling (Rutten-style,
+                // farm/rate_scaler.hh): every server tracks its own
+                // offered load; the target anchors at the QoS design
+                // point ρ_b, and the sleep plan is pinned to the
+                // initial policy's.
+                RateScalerOptions options;
+                options.targetUtilization = _config.perServer.rhoB;
+                return std::make_unique<DistributedRateScaler>(
+                    _config.perServer.space.frequencies, _spec.scaling,
+                    _config.perServer.initialPolicy, options);
+            }
             if (_config.perServer.controller) {
                 return std::make_unique<ControllerManager>(
                     server_platform, _spec.scaling,
@@ -446,7 +491,11 @@ FarmRuntime::FarmRuntime(const PlatformModel &platform,
 bool
 FarmRuntime::perServerControl() const
 {
-    return _config.control == "per-server";
+    // "distributed" rides the per-server loop: autonomous deciders
+    // fed by local observations, one per back-end. The difference is
+    // the decision rule, not the control topology.
+    return _config.control == "per-server" ||
+           _config.control == "distributed";
 }
 
 const PolicyManager &
@@ -523,6 +572,14 @@ FarmRuntime::runFarmWide(JobSource &source, const UtilizationTrace &trace,
     }
 
     farm.setRecoverySeconds(_config.recoverySeconds);
+    farm.setRecordTail(_config.tailHistograms);
+    const std::size_t shard_lanes =
+        resolveShards(_config.shards, _config.farmSize);
+    std::unique_ptr<ThreadPool> shard_pool;
+    if (shard_lanes > 1) {
+        shard_pool = std::make_unique<ThreadPool>(shard_lanes);
+        farm.setShardPool(shard_pool.get());
+    }
     FaultDriver faults(farm, _config);
 
     // One-job lookahead; the only job buffer kept across the run is
@@ -824,6 +881,14 @@ FarmRuntime::runPerServer(JobSource &source,
     }
 
     farm.setRecoverySeconds(_config.recoverySeconds);
+    farm.setRecordTail(_config.tailHistograms);
+    const std::size_t shard_lanes =
+        resolveShards(_config.shards, _config.farmSize);
+    std::unique_ptr<ThreadPool> shard_pool;
+    if (shard_lanes > 1) {
+        shard_pool = std::make_unique<ThreadPool>(shard_lanes);
+        farm.setShardPool(shard_pool.get());
+    }
     FaultDriver faults(farm, _config);
 
     // The O(1) controller path decides from per-server scalar
@@ -908,7 +973,10 @@ FarmRuntime::runPerServer(JobSource &source,
             server_epoch[i].stats = windows[i];
             last_within[i] = windowWithinBudget(_qos, windows[i]);
             result.servers[i].total.merge(windows[i]);
-            result.servers[i].epochs.push_back(server_epoch[i]);
+            // Per-server epoch streams are O(farm x epochs) memory;
+            // scale runs keep only the running totals.
+            if (_config.serverEpochReports)
+                result.servers[i].epochs.push_back(server_epoch[i]);
         }
         EpochReport merged = server_epoch.front();
         merged.stats = ServerFarm::mergeWindows(windows);

@@ -20,6 +20,12 @@
  *    This is the general mode: it supports heterogeneous platform
  *    mixes (big/little farms) and skewed dispatchers, where per-server
  *    decisions legitimately diverge.
+ *  - "distributed": per-server topology with a zero-communication
+ *    decision rule (farm/rate_scaler.hh, after Rutten et al.,
+ *    arXiv:2306.02215) — each back-end provisions its frequency from
+ *    a local offered-load estimate, with no job logs and no shared
+ *    predictor input. The cheapest mode per epoch and the only one
+ *    with no farm-global state at all.
  *
  * In the symmetric homogeneous case the two modes make statistically
  * identical decisions (pinned by tests/farm_per_server_test.cc), which
@@ -57,8 +63,11 @@ struct FarmRuntimeConfig
     std::uint64_t dispatchSeed = 1;
 
     /** Control mode: "farm-wide" (one thinned-log decision applied
-     * everywhere) or "per-server" (autonomous per-server decisions from
-     * each server's own dispatched log). */
+     * everywhere), "per-server" (autonomous per-server decisions from
+     * each server's own dispatched log), or "distributed"
+     * (zero-communication local rate scaling, farm/rate_scaler.hh:
+     * each server tracks its own offered load and scales frequency
+     * against the ρ_b target, ignoring the shared predictor). */
     std::string control = "farm-wide";
 
     /** Per-server platform names resolved against platformRegistry().
@@ -75,6 +84,29 @@ struct FarmRuntimeConfig
      * (docs/CONCURRENCY.md, invariant 1; this suite runs under TSan in
      * CI via the "concurrency" ctest label). */
     std::size_t decisionThreads = 0;
+
+    /**
+     * Shard width of the farm's per-server accounting loops (the
+     * per-minute advance and the per-epoch harvest): 1 runs serially
+     * (no pool), N > 1 fans the servers out over an N-lane pool in
+     * contiguous index ranges, 0 sizes the pool automatically (one
+     * lane per 1024 servers, capped at the hardware concurrency).
+     * Per-server state is independent and windows merge in index
+     * order, so every width is bit-identical — pinned by
+     * tests/farm_scale_test.cc at widths 1, 2, and 8.
+     */
+    std::size_t shards = 1;
+
+    /** Record per-completion response-tail histograms. Farm QoS on
+     * mean response does not need them, and at 10k+ servers the
+     * per-epoch histogram merges dominate the run, so scale runs turn
+     * this off; percentile readouts then report 0. */
+    bool tailHistograms = true;
+
+    /** Populate FarmServerReport::epochs under per-server control.
+     * On by default; scale runs turn it off so memory stays O(farm),
+     * not O(farm x epochs). */
+    bool serverEpochReports = true;
 
     /** Per-server policy-management knobs (epoch length, α, ρ_b, QoS
      * metric, candidate space, log caps). */
@@ -369,6 +401,24 @@ class FarmRuntime
                                    const UtilizationTrace &trace,
                                    UtilizationPredictor &predictor) const;
 };
+
+/**
+ * Delay before failover retry attempt `attempts` (>= 1): the capped
+ * exponential backoff min(backoff * 2^(attempts-1), cap), computed in
+ * saturating form. The doubling is exact binary scaling (no pow()
+ * rounding), and once 2^(attempts-1) would overflow — or the product
+ * merely exceeds the cap — the result saturates at the cap instead of
+ * wrapping through infinity. In particular a sub-nanosecond backoff
+ * still climbs all the way to the cap rather than stalling at
+ * backoff * 2^30 forever (the pre-saturation clamp did exactly that,
+ * which made an always-down farm retry-spin in near-zero sim time).
+ *
+ * @param backoff Initial backoff, seconds (> 0, finite).
+ * @param attempts Failed dispatch attempts so far (>= 1).
+ * @param cap Backoff ceiling, seconds (>= backoff).
+ */
+double failoverBackoffDelay(double backoff, unsigned attempts,
+                            double cap);
 
 /**
  * Streaming aggregate trace-driven source for a farm: the trace is the

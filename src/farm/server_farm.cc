@@ -4,12 +4,58 @@
 #include <limits>
 
 #include "util/error.hh"
+#include "util/thread_pool.hh"
 
 namespace sleepscale {
 
 namespace {
 
 constexpr double never = std::numeric_limits<double>::infinity();
+
+/** FarmView over the whole farm (the fault-free fast path): point
+ * queries hit the servers directly, aggregate queries hit the
+ * event-time indexes. */
+class FullFarmView final : public FarmView
+{
+  public:
+    FullFarmView(const std::vector<ServerSim> &servers,
+                 const IdleSet &idle_set, BusyCalendar &calendar,
+                 const std::vector<double> &next_free, double now)
+        : _servers(servers), _idleSet(idle_set), _calendar(calendar),
+          _nextFree(next_free), _now(now)
+    {
+    }
+
+    std::size_t count() const override { return _servers.size(); }
+
+    double backlog(std::size_t server) const override
+    {
+        return _servers[server].backlog(_now);
+    }
+
+    bool idle(std::size_t server) const override
+    {
+        return _servers[server].idleAt(_now);
+    }
+
+    std::size_t lowestIdle() const override
+    {
+        return _idleSet.empty() ? _servers.size() : _idleSet.lowest();
+    }
+
+    std::size_t leastBacklogBusy() const override
+    {
+        const std::size_t server = _calendar.earliestBusy(_nextFree);
+        return server == BusyCalendar::none ? _servers.size() : server;
+    }
+
+  private:
+    const std::vector<ServerSim> &_servers;
+    const IdleSet &_idleSet;
+    BusyCalendar &_calendar; ///< Non-const: lookups prune stale entries.
+    const std::vector<double> &_nextFree;
+    double _now;
+};
 
 } // namespace
 
@@ -44,6 +90,8 @@ ServerFarm::ServerFarm(const PlatformModel &platform,
     _acceptFrom.assign(size, 0.0);
     _downSeconds.assign(size, 0.0);
     _downMark.assign(size, 0.0);
+    _nextFree.assign(size, 0.0);
+    _idleSet = IdleSet(size, /*full=*/true);
 }
 
 ServerFarm::ServerFarm(const std::vector<const PlatformModel *> &platforms,
@@ -63,17 +111,64 @@ ServerFarm::ServerFarm(const std::vector<const PlatformModel *> &platforms,
     _acceptFrom.assign(platforms.size(), 0.0);
     _downSeconds.assign(platforms.size(), 0.0);
     _downMark.assign(platforms.size(), 0.0);
+    _nextFree.assign(platforms.size(), 0.0);
+    _idleSet = IdleSet(platforms.size(), /*full=*/true);
 }
 
-std::vector<ServerSnapshot>
-ServerFarm::snapshots(double now) const
+void
+ServerFarm::setShardPool(ThreadPool *pool)
 {
-    std::vector<ServerSnapshot> view(_servers.size());
-    for (std::size_t i = 0; i < _servers.size(); ++i) {
-        view[i].backlog = _servers[i].backlog(now);
-        view[i].idle = _servers[i].idleAt(now);
+    _shardPool = pool;
+}
+
+void
+ServerFarm::setRecordTail(bool record)
+{
+    for (ServerSim &server : _servers)
+        server.setRecordTail(record);
+}
+
+template <typename Body>
+void
+ServerFarm::forEachServer(const Body &body)
+{
+    const std::size_t count = _servers.size();
+    if (_shardPool == nullptr || _shardPool->size() <= 1 || count < 2) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
     }
-    return view;
+    // Contiguous chunks keep per-lane work cache-friendly; a few chunks
+    // per lane absorb load imbalance from the atomic index handout.
+    const std::size_t chunks =
+        std::min(count, _shardPool->size() * 4);
+    const std::size_t stride = (count + chunks - 1) / chunks;
+    _shardPool->parallelFor(chunks, [&](std::size_t chunk, std::size_t) {
+        const std::size_t begin = chunk * stride;
+        const std::size_t end = std::min(begin + stride, count);
+        for (std::size_t i = begin; i < end; ++i)
+            body(i);
+    });
+}
+
+void
+ServerFarm::processCalendarUpTo(double t)
+{
+    _calendar.drainDue(t, _nextFree,
+                       [this](std::size_t server) {
+                           _idleSet.insert(server);
+                       });
+}
+
+void
+ServerFarm::noteAdmission(std::size_t server)
+{
+    const double free = _servers[server].nextFreeTime();
+    if (_nextFree[server] == free)
+        return; // Zero-work admission: the busy period didn't extend.
+    _idleSet.erase(server);
+    _nextFree[server] = free;
+    _calendar.push(free, server);
 }
 
 std::size_t
@@ -95,9 +190,13 @@ ServerFarm::tryOfferJob(const Job &job)
 
     std::size_t pick = noServer;
     if (!_anyUnavailable) {
-        // Fault-free fast path: identical routing (and identical
-        // dispatcher RNG consumption) to the pre-fault-layer farm.
-        pick = _dispatcher->route(job, snapshots(job.arrival));
+        // Fault-free fast path: O(log N) routing through the idle set
+        // and busy calendar, with routing decisions (and dispatcher
+        // RNG consumption) identical to the legacy full-scan path.
+        processCalendarUpTo(job.arrival);
+        FullFarmView view(_servers, _idleSet, _calendar, _nextFree,
+                          job.arrival);
+        pick = _dispatcher->route(job, view);
         fatalIf(pick >= _servers.size(),
                 "ServerFarm: dispatcher chose a server out of range");
     } else {
@@ -130,6 +229,7 @@ ServerFarm::tryOfferJob(const Job &job)
         pick = eligible[choice];
     }
     _servers[pick].offerJob(job);
+    noteAdmission(pick);
     ++_jobsRouted[pick];
     return pick;
 }
@@ -137,9 +237,11 @@ ServerFarm::tryOfferJob(const Job &job)
 void
 ServerFarm::advanceTo(double t)
 {
-    for (ServerSim &server : _servers)
-        server.advanceTo(t);
-    if (_anyUnavailable || t > _lastAdvance) {
+    processCalendarUpTo(t);
+    forEachServer([&](std::size_t i) { _servers[i].advanceTo(t); });
+    // Unavailability accrual is a no-op on a server that never crashed
+    // (acceptFrom stays 0), so fault-free farms skip the loop outright.
+    if (_everFailed && (_anyUnavailable || t > _lastAdvance)) {
         for (std::size_t i = 0; i < _servers.size(); ++i)
             accrueDown(i, t);
     }
@@ -171,6 +273,7 @@ ServerFarm::failServer(std::size_t server, double t)
     _acceptFrom[server] = never;
     _downMark[server] = std::max(t, _downMark[server]);
     _anyUnavailable = true;
+    _everFailed = true;
 }
 
 void
@@ -274,10 +377,13 @@ ServerFarm::harvestWindow()
 std::vector<SimStats>
 ServerFarm::harvestWindows()
 {
-    std::vector<SimStats> windows;
-    windows.reserve(_servers.size());
-    for (ServerSim &server : _servers)
-        windows.push_back(server.harvestWindow());
+    std::vector<SimStats> windows(_servers.size());
+    // Each server's harvest touches only its own state; results are
+    // stored by index and merged in index order, so sharding cannot
+    // perturb the totals.
+    forEachServer([&](std::size_t i) {
+        windows[i] = _servers[i].harvestWindow();
+    });
     return windows;
 }
 

@@ -19,10 +19,15 @@
 #include <vector>
 
 #include "farm/dispatcher.hh"
+#include "farm/farm_calendar.hh"
 #include "power/platform_model.hh"
 #include "sim/server_sim.hh"
 
 namespace sleepscale {
+
+/** Accounting-shard worker pool (util/thread_pool.hh), forward-declared
+ * so the header stays light. */
+class ThreadPool;
 
 /**
  * Availability lifecycle of one back-end under fault injection
@@ -185,6 +190,27 @@ class ServerFarm
     /** Latest time across servers with committed work. */
     double nextFreeTime() const;
 
+    /**
+     * Shard per-server accounting (advanceTo(), harvestWindows())
+     * across a worker pool. The pool is not owned and must outlive the
+     * farm (or a later setShardPool(nullptr)). Per-server state is
+     * independent and windows are merged in index order, so results
+     * are bit-identical at any lane count, including nullptr (serial).
+     */
+    void setShardPool(ThreadPool *pool);
+
+    /** Toggle per-completion response-tail histograms on every server
+     * (ServerSim::setRecordTail). Off, no histogram buckets are ever
+     * allocated — the memory lever for 10k+ server farms. */
+    void setRecordTail(bool record);
+
+    /** Calendar entries currently held (valid plus stale), exposed for
+     * memory audits in the scale tests. */
+    std::size_t calendarEntries() const
+    {
+        return _calendar.pendingEntries();
+    }
+
   private:
     std::vector<ServerSim> _servers;
     std::unique_ptr<Dispatcher> _dispatcher;
@@ -213,10 +239,38 @@ class ServerFarm
      * path: fault-free runs skip the eligibility filter entirely). */
     bool _anyUnavailable = false;
 
-    std::vector<ServerSnapshot> snapshots(double now) const;
+    /** Whether any server has ever crashed (fault-free farms skip the
+     * per-server unavailability accrual loop entirely). */
+    bool _everFailed = false;
+
+    /** Mirror of each server's nextFreeTime(), updated on admission
+     * only (ServerSim moves it nowhere else). Keys the calendar's
+     * stale-entry detection and the idle set. */
+    std::vector<double> _nextFree;
+
+    /** Idle servers (lowest-index lookup for the dispatch fast path). */
+    IdleSet _idleSet;
+
+    /** Queue-empties events for busy servers (lazy min-heap). */
+    BusyCalendar _calendar;
+
+    /** Worker pool for sharded accounting (not owned; may be null). */
+    ThreadPool *_shardPool = nullptr;
 
     /** Accrue one server's unavailability up to time t. */
     void accrueDown(std::size_t server, double t);
+
+    /** Retire queue-empties events due by time t into the idle set. */
+    void processCalendarUpTo(double t);
+
+    /** Record an admission in the next-free mirror, idle set, and
+     * calendar (no simulation effect). */
+    void noteAdmission(std::size_t server);
+
+    /** Run body(i) for every server, sharded over the pool when one is
+     * set. The body must touch only server i's state. */
+    template <typename Body>
+    void forEachServer(const Body &body);
 };
 
 } // namespace sleepscale

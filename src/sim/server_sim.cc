@@ -91,7 +91,8 @@ ServerSim::flushDepartures(double t)
         const double response = _pending.front().response;
         _pending.pop();
         _window.response.add(response);
-        _window.responseHistogram.add(response);
+        if (_recordTail)
+            _window.responseHistogram.add(response);
         ++_window.completions;
     }
 }

@@ -143,6 +143,18 @@ class ServerSim
     std::size_t pendingDepartures() const { return _pending.size(); }
 
     /**
+     * Record per-completion response samples in the percentile
+     * histogram (default on). Mean-based QoS never reads the tail, so
+     * large farms turn this off: no histogram buckets are ever
+     * allocated and percentile readouts report 0. Streaming response
+     * moments (mean, min, max, Cv) are always recorded.
+     */
+    void setRecordTail(bool record) { _recordTail = record; }
+
+    /** Whether per-completion tail histograms are being recorded. */
+    bool recordTail() const { return _recordTail; }
+
+    /**
      * Return to the t = 0 empty-queue state under the current policy,
      * keeping every allocation (pending ring, histogram buckets), so
      * the simulator can serve as a reusable evaluation arena.
@@ -186,6 +198,7 @@ class ServerSim
 
     double _accountedUntil = 0.0; ///< Energy integrated up to here.
     double _nextFree = 0.0;       ///< Queue-empties time; idle start.
+    bool _recordTail = true;      ///< Feed the percentile histogram.
 
     /** Departures awaiting window attribution (FCFS keeps this ordered
      * by departure time). */

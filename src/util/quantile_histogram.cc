@@ -19,7 +19,9 @@ QuantileHistogram::QuantileHistogram(double floor, double ceiling,
     const double decades = std::log10(ceiling) - _logFloor;
     const auto grid =
         static_cast<std::size_t>(std::ceil(decades * _bucketsPerDecade));
-    _buckets.assign(grid + 2, 0); // + underflow and overflow
+    _gridBuckets = grid + 2; // + underflow and overflow
+    // _buckets stays empty until the first add(): a histogram that
+    // never sees a sample costs O(1) memory.
 }
 
 std::size_t
@@ -28,10 +30,10 @@ QuantileHistogram::indexOf(double x) const
     if (x < _floor)
         return 0;
     if (x >= _ceiling)
-        return _buckets.size() - 1;
+        return _gridBuckets - 1;
     const double pos = (std::log10(x) - _logFloor) * _bucketsPerDecade;
     const auto raw = static_cast<std::size_t>(pos);
-    return std::min(raw + 1, _buckets.size() - 2);
+    return std::min(raw + 1, _gridBuckets - 2);
 }
 
 double
@@ -39,7 +41,7 @@ QuantileHistogram::upperEdge(std::size_t index) const
 {
     if (index == 0)
         return _floor;
-    if (index >= _buckets.size() - 1)
+    if (index >= _gridBuckets - 1)
         return _moments.max();
     const double exponent =
         _logFloor + static_cast<double>(index) / _bucketsPerDecade;
@@ -54,6 +56,8 @@ QuantileHistogram::add(double x)
     // than silently landing in a boundary bucket.
     fatalIf(!std::isfinite(x) || x < 0.0,
             "QuantileHistogram::add: samples must be finite and >= 0");
+    if (_buckets.empty())
+        _buckets.assign(_gridBuckets, 0);
     ++_buckets[indexOf(x)];
     _moments.add(x);
 }
@@ -109,9 +113,16 @@ QuantileHistogram::exceedance(double x) const
 void
 QuantileHistogram::merge(const QuantileHistogram &other)
 {
-    fatalIf(other._buckets.size() != _buckets.size() ||
+    fatalIf(other._gridBuckets != _gridBuckets ||
                 other._floor != _floor || other._ceiling != _ceiling,
             "QuantileHistogram::merge: incompatible configurations");
+    // An unallocated (never-sampled) source contributes nothing; the
+    // early-out is what makes merging a mostly-idle farm's windows
+    // O(active servers) rather than O(farm x buckets).
+    if (other._buckets.empty())
+        return;
+    if (_buckets.empty())
+        _buckets.assign(_gridBuckets, 0);
     for (std::size_t i = 0; i < _buckets.size(); ++i)
         _buckets[i] += other._buckets[i];
     _moments.merge(other._moments);

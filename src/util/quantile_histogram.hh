@@ -78,7 +78,18 @@ class QuantileHistogram
     double _ceiling;
     double _logFloor;
     double _bucketsPerDecade;
-    std::vector<std::uint64_t> _buckets; // [under, grid..., over]
+
+    /** Bucket count of the configured grid, including the underflow
+     * and overflow buckets. Fixed at construction; _buckets grows to
+     * this size on the first add(). */
+    std::size_t _gridBuckets;
+
+    /** Bucket array: empty until the first sample, then
+     * [under, grid..., over]. Lazy allocation keeps a never-sampled
+     * histogram — e.g. the response tail of an idle farm server — at
+     * O(1) memory instead of ~38 KB each. */
+    std::vector<std::uint64_t> _buckets;
+
     OnlineStats _moments;
 
     std::size_t indexOf(double x) const;

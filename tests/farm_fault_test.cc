@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -390,6 +391,65 @@ TEST(FarmFailover, OutagePastDeadlineDropsAsSloLoss)
     EXPECT_GT(result.faults.goodput(), 0.5);
     EXPECT_EQ(result.faults.admitted + result.faults.dropped,
               result.faults.offered);
+}
+
+TEST(FarmFailover, BackoffDelaySaturatesInsteadOfOverflowing)
+{
+    // Attempt k waits backoff * 2^(k-1) up to the cap — with exact
+    // binary scaling while it is below the cap...
+    EXPECT_DOUBLE_EQ(failoverBackoffDelay(1.0, 1, 60.0), 1.0);
+    EXPECT_DOUBLE_EQ(failoverBackoffDelay(1.0, 4, 60.0), 8.0);
+    EXPECT_DOUBLE_EQ(failoverBackoffDelay(1.0, 7, 60.0), 60.0);
+    // ...and a tiny base must still climb to the cap: 2^(k-1) is
+    // computed in saturating form, so neither a pre-clamp on the
+    // exponent (the old 2^30 ceiling, which froze sub-nanosecond
+    // backoffs at ~1 ms forever) nor double overflow can keep the
+    // delay below the cap.
+    EXPECT_DOUBLE_EQ(failoverBackoffDelay(1e-12, 80, 30.0), 30.0);
+    EXPECT_DOUBLE_EQ(failoverBackoffDelay(1e-300, 2000, 30.0), 30.0);
+    EXPECT_DOUBLE_EQ(failoverBackoffDelay(1e-300, 4000000000u, 30.0),
+                     30.0);
+    // Monotone non-decreasing and always finite across the whole
+    // attempt range.
+    double last = 0.0;
+    for (unsigned attempts : {1u, 2u, 40u, 1000u, 1100u, 4000000000u}) {
+        const double delay =
+            failoverBackoffDelay(1e-9, attempts, 45.0);
+        EXPECT_TRUE(std::isfinite(delay));
+        EXPECT_GE(delay, last);
+        last = delay;
+    }
+    EXPECT_THROW(failoverBackoffDelay(0.0, 1, 60.0), ConfigError);
+    EXPECT_THROW(failoverBackoffDelay(1.0, 0, 60.0), ConfigError);
+    EXPECT_THROW(failoverBackoffDelay(1.0, 1, 0.5), ConfigError);
+}
+
+TEST(FarmFailover, AlwaysDownFarmDrainsInBoundedRetries)
+{
+    // Pathological availability: every server crashes at t = 0 and
+    // never recovers, with a sub-nanosecond initial backoff. Before
+    // the saturating fix the exponent clamp pinned every retry delay
+    // at backoff * 2^30 ~ 1 us of sim time, so draining the queue took
+    // ~10^8 retries per job — an effective hang. With saturation the
+    // delay doubles to the cap, every job exhausts its drop deadline
+    // in a few dozen attempts, and conservation still closes.
+    const UtilizationTrace trace("flat", std::vector<double>(10, 0.3));
+    FarmRuntimeConfig config = faultRuntimeConfig(2, "farm-wide");
+    config.faults = "scripted";
+    config.faultScript = {{0.0, 0, true}, {0.0, 1, true}};
+    config.retryBackoff = 1e-12;
+    config.retryBackoffCap = 30.0;
+    config.dropTimeout = 120.0;
+
+    const FarmRuntimeResult result = runFaultScenario(config, trace);
+    expectConservation(result);
+    EXPECT_GT(result.faults.offered, 0u);
+    EXPECT_EQ(result.faults.completed, 0u);
+    EXPECT_EQ(result.faults.dropped, result.faults.offered);
+    // Delays reach the 120 s deadline within ~47 doublings from 1e-12
+    // (plus the capped tail), so the retry bill is a small per-job
+    // constant — not the ~10^8 of the pre-fix spin.
+    EXPECT_LE(result.faults.retries, result.faults.offered * 60);
 }
 
 TEST(FarmFailover, RecoveryDelayExtendsUnavailability)

@@ -78,6 +78,52 @@ TEST(Dispatchers, PackingFallsBackToJsqWhenAllBusy)
     EXPECT_EQ(packing.route({0.0, 1.0}, servers), 1u);
 }
 
+// Tie-breaking is part of the dispatcher contract: the sharded
+// event-driven core answers "least backlogged" and "first idle"
+// queries from index structures instead of linear scans, so the rule
+// those scans implied — exact ties go to the LOWEST server index —
+// is pinned here explicitly. Any core that resolved ties by shard
+// order, heap order, or arrival order would fail these.
+
+TEST(Dispatchers, JsqTieBreaksToLowestIndex)
+{
+    JsqDispatcher jsq;
+    std::vector<ServerSnapshot> servers(4);
+    // All idle: every backlog is exactly 0.0.
+    EXPECT_EQ(jsq.route({0.0, 1.0}, servers), 0u);
+    // An exact busy tie (same committed seconds) also goes low.
+    for (auto &server : servers) {
+        server.idle = false;
+        server.backlog = 1.5;
+    }
+    EXPECT_EQ(jsq.route({0.0, 1.0}, servers), 0u);
+    // The tie group need not start at index 0.
+    servers[0].backlog = 2.0;
+    EXPECT_EQ(jsq.route({0.0, 1.0}, servers), 1u);
+}
+
+TEST(Dispatchers, PackingTieBreaksToLowestIndex)
+{
+    PackingDispatcher packing(1.0);
+    std::vector<ServerSnapshot> servers(4);
+    // Several idle servers: the first idle index wins the spill.
+    servers[0].idle = false;
+    servers[0].backlog = 2.0;
+    EXPECT_EQ(packing.route({0.0, 1.0}, servers), 1u);
+    // Exact busy tie below the spill threshold: lowest index.
+    for (auto &server : servers) {
+        server.idle = false;
+        server.backlog = 0.25;
+    }
+    EXPECT_EQ(packing.route({0.0, 1.0}, servers), 0u);
+    // Exact busy tie above the spill with no idle server: still the
+    // least-backlogged scan's first minimum.
+    for (auto &server : servers)
+        server.backlog = 3.0;
+    servers[0].backlog = 4.0;
+    EXPECT_EQ(packing.route({0.0, 1.0}, servers), 1u);
+}
+
 TEST(Dispatchers, FactoryAndValidation)
 {
     EXPECT_EQ(makeDispatcher("random")->name(), "random");
@@ -123,6 +169,35 @@ TEST_F(FarmTest, JobsConservedAcrossServers)
     const auto &routed = farm.jobsPerServer();
     EXPECT_EQ(std::accumulate(routed.begin(), routed.end(), 0ull),
               jobs.size());
+}
+
+TEST_F(FarmTest, JsqFarmTieBreaksToLowestIndex)
+{
+    // Farm-level pin of the dispatcher tie-break rule: a fresh farm is
+    // an exact all-zero-backlog tie, and equal jobs keep producing
+    // exact ties, so the routed sequence is fully determined.
+    ServerFarm farm = makeFarm(3, "JSQ");
+    EXPECT_EQ(farm.offerJob({0.0, 0.5}), 0u); // all idle -> lowest.
+    EXPECT_EQ(farm.offerJob({0.0, 0.5}), 1u); // 1 and 2 tie at zero.
+    EXPECT_EQ(farm.offerJob({0.0, 0.5}), 2u);
+    // All three backlogs are now byte-identical: lowest index again.
+    EXPECT_EQ(farm.offerJob({0.0, 0.5}), 0u);
+    EXPECT_EQ(farm.offerJob({0.0, 0.5}), 1u);
+}
+
+TEST_F(FarmTest, EligibleTieBreaksToLowestEligibleIndex)
+{
+    // The failover path filters to eligible servers in index order
+    // before routing; ties then go to the lowest *eligible* index,
+    // independent of how the unavailable servers are laid out.
+    ServerFarm farm = makeFarm(4, "JSQ");
+    farm.failServer(0, 0.0);
+    farm.failServer(2, 0.0);
+    EXPECT_EQ(farm.tryOfferJob({1.0, 0.5}), 1u);
+    EXPECT_EQ(farm.tryOfferJob({1.0, 0.5}), 3u);
+    EXPECT_EQ(farm.tryOfferJob({1.0, 0.5}), 1u);
+    farm.restoreServer(0, 2.0);
+    EXPECT_EQ(farm.tryOfferJob({2.0, 0.5}), 0u);
 }
 
 TEST_F(FarmTest, FarmEnergyIsSumOfServers)

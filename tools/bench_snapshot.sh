@@ -24,6 +24,12 @@
 # regret of SS / pruned / poet / degraded-fallback vs the offline-
 # optimal oracle on the Table 5 workloads (95% CIs), FPTAS runtime vs
 # epsilon, and the FPTAS-vs-exact speedup (docs/OFFLINE_OPT.md).
+#
+# Also runs bench_farm_scale --json into BENCH_farm_scale.json: the
+# streaming throughput (jobs per wall second) of the event-driven farm
+# core at farm sizes {100, 1k, 10k} (docs/FARM_SCALE.md). A collapse
+# on the 10k row means a per-arrival or per-epoch O(N) scan crept back
+# into the farm path.
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -67,3 +73,12 @@ fi
 
 "$offline_opt_bench" --json > "$repo_root/BENCH_offline_opt.json"
 echo "wrote $repo_root/BENCH_offline_opt.json"
+
+farm_scale_bench="$build_dir/bench_farm_scale"
+if [ ! -x "$farm_scale_bench" ]; then
+    echo "error: $farm_scale_bench not built; run tools/ci.sh" >&2
+    exit 1
+fi
+
+"$farm_scale_bench" --json > "$repo_root/BENCH_farm_scale.json"
+echo "wrote $repo_root/BENCH_farm_scale.json"

@@ -35,6 +35,13 @@ else
     echo "bench smoke skipped: $bench not built (no Google Benchmark)"
 fi
 
+# Scale smoke: the event-driven farm core must stream the 100/1k/10k
+# farm-size ladder in seconds (docs/FARM_SCALE.md). A hang or a
+# throughput collapse here means an O(N) scan crept back into the
+# per-arrival or per-epoch farm path.
+"$build_dir/bench_farm_scale" > "$build_dir/bench_farm_scale_smoke.txt"
+echo "scale smoke OK: $build_dir/bench_farm_scale_smoke.txt"
+
 # Determinism lint: no wall clocks, ambient entropy, machine topology,
 # or hash-iteration-order reductions in src/ (rules and rationale:
 # docs/CONCURRENCY.md; exemptions: tools/determinism_allowlist.txt).
@@ -94,7 +101,8 @@ cmake -B "$tsan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Debug \
       -DSLEEPSCALE_SANITIZE=thread
 cmake --build "$tsan_dir" -j "$(nproc 2>/dev/null || echo 4)" --target \
       thread_pool_test eval_engine_test experiment_test \
-      farm_per_server_test farm_fault_test sim_fuzz_test control_test
+      farm_per_server_test farm_fault_test sim_fuzz_test control_test \
+      farm_distributed_test farm_scale_test
 ctest --test-dir "$tsan_dir" --output-on-failure -j \
       "$(nproc 2>/dev/null || echo 4)" \
       -L "concurrency|fault|control"

@@ -91,6 +91,7 @@ const std::set<std::string> knownOptions = {
     "controller-q", "controller-r", "controller-pole",
     "controller-period", "decision-time",
     "regret",     "opt-epsilon",
+    "shards",     "no-tail-histograms",
 };
 
 QosMetric
@@ -162,6 +163,8 @@ scenarioFromArgs(const CliArgs &args, EngineKind engine)
         .farmSize(args.getUnsigned("servers", 4))
         .dispatcher(args.get("dispatcher", "packing"))
         .farmControl(args.get("control", "farm-wide"))
+        .farmShards(args.getUnsigned("shards", 1))
+        .tailHistograms(!args.has("no-tail-histograms"))
         .decisionThreads(args.getUnsigned("decision-threads", 0))
         .faults(args.get("faults", "none"))
         .faultRates(args.getDouble("mtbf", 4.0 * 3600.0),
@@ -596,7 +599,13 @@ printUsage()
         "\n"
         "farm control modes: farm-wide (one thinned-log decision for\n"
         "all servers) | per-server (autonomous per-server decisions;\n"
-        "required for heterogeneous --platforms mixes)\n"
+        "required for heterogeneous --platforms mixes) | distributed\n"
+        "(zero-communication local rate scaling, docs/FARM_SCALE.md)\n"
+        "\n"
+        "farm scale knobs (docs/FARM_SCALE.md): --shards N shards the\n"
+        "per-server simulation across N lanes (0 = auto, bit-identical\n"
+        "at any lane count); --no-tail-histograms drops per-server\n"
+        "response-time histograms to shrink 10k+-server runs\n"
         "\n"
         "farm fault injection (docs/FAULTS.md): --faults mtbf|correlated\n"
         "[--mtbf s] [--mttr s] [--retry-backoff s] [--drop-timeout s];\n"
